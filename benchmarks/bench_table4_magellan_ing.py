@@ -1,0 +1,54 @@
+"""Table IV — recall@ground-truth on the Magellan and ING dataset pairs.
+
+Reproduces the Table IV recall table: every method on the Magellan-style
+unionable pairs and on the two ING-style production pairs.  Asserted findings
+from the paper: all schema-based methods reach recall 1.0 on Magellan (the
+pairs share column names), and the Distribution-based method is the strongest
+method on ING#2 (cryptic technical column names, near-identical values).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import fast_grids, print_report
+from repro.datasets import ing_pairs, magellan_pairs
+from repro.experiments.reports import render_recall_table
+from repro.experiments.results import ResultSet
+from repro.experiments.runner import ExperimentRunner
+
+SCHEMA_METHODS = ("Cupid", "SimilarityFlooding", "ComaSchema")
+
+
+def _run() -> dict[str, ResultSet]:
+    runner = ExperimentRunner(grids=fast_grids())
+    magellan = magellan_pairs(num_rows=60)[:3]
+    ing_backlog, ing_applications = ing_pairs(num_rows=60)
+    return {
+        "Magellan": runner.run_all(magellan),
+        "ING#1": runner.run_all([ing_backlog]),
+        "ING#2": runner.run_all([ing_applications]),
+    }
+
+
+def test_table4_magellan_and_ing(benchmark):
+    results_by_dataset = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_report(
+        "Table IV — recall@ground-truth on Magellan- and ING-style pairs",
+        render_recall_table(results_by_dataset, title=""),
+    )
+
+    magellan_best = results_by_dataset["Magellan"].best_recall_by_method()
+    ing2_best = results_by_dataset["ING#2"].best_recall_by_method()
+    ing1_best = results_by_dataset["ING#1"].best_recall_by_method()
+
+    # Paper: schema-based methods score 1.0 on Magellan pairs.
+    for method in SCHEMA_METHODS:
+        assert magellan_best[method] >= 0.95, method
+    # Paper: the Distribution-based method performs best on ING#2 and clearly
+    # beats the schema-based methods there.
+    assert ing2_best["DistributionBased"] >= max(ing2_best[m] for m in SCHEMA_METHODS)
+    # Paper: on ING#1 most methods find the majority of expected matches.
+    assert max(ing1_best.values()) >= 0.7
+
+    benchmark.extra_info["magellan"] = magellan_best
+    benchmark.extra_info["ing1"] = ing1_best
+    benchmark.extra_info["ing2"] = ing2_best

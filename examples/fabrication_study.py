@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Fabrication study: how overlap and noise knobs shape matching difficulty.
+
+The paper's central methodological contribution is the principled fabrication
+of dataset pairs (Section IV): horizontal/vertical splits with controlled row
+and column overlap, plus schema and instance noise.  This example sweeps those
+knobs on a single seed table and shows how the recall of a fixed matcher
+(the Jaccard–Levenshtein baseline and COMA-Schema) responds — an ablation of
+the fabricator itself.
+
+Run with ``python examples/fabrication_study.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import tpcdi_prospect_table
+from repro.experiments.reports import format_table
+from repro.fabrication import NoiseVariant
+from repro.fabrication.scenarios import fabricate_unionable, fabricate_view_unionable
+from repro.matchers import ComaSchemaMatcher, JaccardLevenshteinMatcher
+from repro.metrics import recall_at_ground_truth
+
+
+def run_matchers(pair) -> dict[str, float]:
+    """Recall@ground-truth of the two probe matchers on one pair."""
+    schema_matcher = ComaSchemaMatcher()
+    instance_matcher = JaccardLevenshteinMatcher(threshold=0.8, sample_size=80)
+    scores = {}
+    for matcher in (schema_matcher, instance_matcher):
+        result = matcher.get_matches(pair.source, pair.target)
+        scores[matcher.name] = recall_at_ground_truth(result.ranked_pairs(), pair.ground_truth)
+    return scores
+
+
+def sweep_row_overlap(seed) -> list[list[object]]:
+    """Unionable pairs with increasing row overlap, noisy schemata."""
+    rows = []
+    for overlap in (0.0, 0.25, 0.5, 0.75, 1.0):
+        pair = fabricate_unionable(
+            seed,
+            NoiseVariant.NOISY_SCHEMA_VERBATIM_INSTANCES,
+            row_overlap=overlap,
+            rng=random.Random(17),
+        )
+        scores = run_matchers(pair)
+        rows.append(
+            [f"{overlap:.0%}", f"{scores['ComaSchema']:.2f}", f"{scores['JaccardLevenshtein']:.2f}"]
+        )
+    return rows
+
+
+def sweep_noise_variants(seed) -> list[list[object]]:
+    """Unionable pairs at 50% row overlap under each noise variant."""
+    rows = []
+    for variant in NoiseVariant:
+        pair = fabricate_unionable(seed, variant, row_overlap=0.5, rng=random.Random(23))
+        scores = run_matchers(pair)
+        rows.append([variant.value, f"{scores['ComaSchema']:.2f}", f"{scores['JaccardLevenshtein']:.2f}"])
+    return rows
+
+
+def sweep_column_overlap(seed) -> list[list[object]]:
+    """View-unionable pairs with increasing column overlap (no row overlap)."""
+    rows = []
+    for overlap in (0.3, 0.5, 0.7):
+        pair = fabricate_view_unionable(
+            seed,
+            NoiseVariant.VERBATIM_SCHEMA_VERBATIM_INSTANCES,
+            column_overlap=overlap,
+            rng=random.Random(29),
+        )
+        scores = run_matchers(pair)
+        rows.append(
+            [
+                f"{overlap:.0%}",
+                str(pair.ground_truth_size),
+                f"{scores['ComaSchema']:.2f}",
+                f"{scores['JaccardLevenshtein']:.2f}",
+            ]
+        )
+    return rows
+
+
+def main() -> None:
+    seed = tpcdi_prospect_table(num_rows=150)
+    print(f"Seed table: {seed.name} {seed.shape}\n")
+
+    print("1) Row overlap sweep (unionable, noisy schemata)")
+    print("   Instance-based matching needs row overlap; schema-based matching does not.")
+    print(format_table(["Row overlap", "ComaSchema", "JaccardLevenshtein"], sweep_row_overlap(seed)))
+    print()
+
+    print("2) Noise variant sweep (unionable, 50% row overlap)")
+    print("   Schema noise hurts schema-based methods, instance noise hurts instance-based ones.")
+    print(format_table(["Variant", "ComaSchema", "JaccardLevenshtein"], sweep_noise_variants(seed)))
+    print()
+
+    print("3) Column overlap sweep (view-unionable, zero row overlap)")
+    print("   With no shared rows, the instance-based baseline struggles regardless of overlap.")
+    print(
+        format_table(
+            ["Column overlap", "|ground truth|", "ComaSchema", "JaccardLevenshtein"],
+            sweep_column_overlap(seed),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

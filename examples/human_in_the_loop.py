@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Human-in-the-loop matching with auto-tuned parameters.
+
+Two of the paper's "lessons learned" (Section IX) are implemented here:
+
+* *Complex parameterization* — instead of hand-tuning thresholds, the
+  matcher's parameters are tuned automatically on dataset pairs fabricated
+  from the user's own table (the eTuner idea, :mod:`repro.tuning`);
+* *Humans-in-the-loop* — matching is treated as a search problem: the tool
+  shows ranked candidates, the "user" (scripted here via the known ground
+  truth) confirms or rejects a few of them, and the ranking is refined with
+  that feedback (:mod:`repro.discovery.feedback`).
+
+Run with ``python examples/human_in_the_loop.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import wikidata_pairs
+from repro.discovery import FeedbackSession
+from repro.experiments.parameters import ParameterGrid
+from repro.fabrication import FabricationConfig, Scenario
+from repro.matchers import JaccardLevenshteinMatcher
+from repro.metrics import recall_at_ground_truth
+from repro.tuning import AutoTuner
+
+
+def main() -> None:
+    # The matching task: the unionable WikiData pair — every column has a
+    # partner, but names are renamed and six columns' values are re-encoded.
+    pair = {p.scenario: p for p in wikidata_pairs(num_rows=120)}[Scenario.UNIONABLE]
+    truth = pair.ground_truth_set()
+    print(f"Matching task: {pair.describe()}\n")
+
+    # Step 1 — auto-tune the baseline matcher's threshold on pairs fabricated
+    # from the source table itself (no real ground truth needed).
+    grid = ParameterGrid(
+        "JaccardLevenshtein",
+        JaccardLevenshteinMatcher,
+        {"threshold": (0.4, 0.6, 0.8)},
+        fixed={"sample_size": 60},
+    )
+    tuner = AutoTuner(
+        fabrication_config=FabricationConfig(seed=5),
+        scenarios=(Scenario.UNIONABLE,),
+        pairs_per_scenario=2,
+    )
+    outcome = tuner.tune(grid, pair.source)
+    print("Auto-tuning on fabricated scenarios:")
+    for parameters, score in outcome.leaderboard:
+        print(f"  threshold={parameters['threshold']}: recall@GT={score:.3f} (fabricated)")
+    print(f"  -> selected threshold {outcome.best_parameters['threshold']}\n")
+
+    matcher = outcome.build_matcher(grid)
+    result = matcher.get_matches(pair.source, pair.target)
+    initial_recall = recall_at_ground_truth(result.ranked_pairs(), pair.ground_truth)
+    print(f"Initial ranking: recall@ground-truth = {initial_recall:.3f}")
+
+    # Step 2 — interactive refinement: the "user" reviews the top candidates
+    # and labels them; here the known ground truth plays the user's role.
+    session = FeedbackSession(result, feedback_weight=0.3)
+    rounds = 6
+    per_round = 4
+    for round_number in range(1, rounds + 1):
+        candidates = session.next_candidates(k=per_round)
+        if not candidates:
+            break
+        print(f"\nReview round {round_number}:")
+        for match in candidates:
+            correct = match.as_pair() in truth
+            decision = "accept" if correct else "reject"
+            print(f"  {match.source.column:22s} ~ {match.target.column:22s} ({match.score:.2f}) -> {decision}")
+            if correct:
+                session.accept(*match.as_pair())
+            else:
+                session.reject(*match.as_pair())
+        refined = session.reranked()
+        refined_recall = recall_at_ground_truth(refined.ranked_pairs(), pair.ground_truth)
+        print(f"  recall@ground-truth after feedback: {refined_recall:.3f}")
+
+    final_recall = recall_at_ground_truth(session.reranked().ranked_pairs(), pair.ground_truth)
+    reviewed = len(session.decisions)
+    print(
+        f"\nAfter reviewing {reviewed} candidate pairs the ranking's recall@ground-truth "
+        f"went from {initial_recall:.3f} to {final_recall:.3f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

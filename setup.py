@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline evaluation environment ships setuptools but not ``wheel``, so
+PEP 517 editable installs fail; ``pip install -e . --no-build-isolation``
+falls back to this legacy path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,151 @@
+"""Command-line interface of the Valentine reproduction.
+
+Subcommands:
+
+* ``coverage`` — print the Table I matcher / match-type coverage matrix;
+* ``parameters`` — print the Table II parameter grids;
+* ``fabricate`` — fabricate dataset pairs from a synthetic seed source and
+  write them to CSV files;
+* ``run`` — run the experiment grid over fabricated pairs and print the
+  Figure 4–6 style summaries;
+* ``match`` — match two CSV files with a chosen method and print the ranked
+  matches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.data.csv_io import read_csv, write_csv
+from repro.datasets import chembl_assays_table, open_data_table, tpcdi_prospect_table
+from repro.experiments.parameters import default_parameter_grids
+from repro.experiments.reports import (
+    render_boxplot_figure,
+    render_coverage_table,
+    render_parameter_grids,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.fabrication import FabricationConfig, Fabricator, Scenario
+from repro.matchers.registry import matcher_class
+
+__all__ = ["main", "build_parser"]
+
+_SOURCES = {
+    "tpcdi": tpcdi_prospect_table,
+    "opendata": open_data_table,
+    "chembl": chembl_assays_table,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``valentine-repro`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="valentine-repro",
+        description="Valentine reproduction: schema matching experiments for dataset discovery",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("coverage", help="print the Table I coverage matrix")
+
+    params = subparsers.add_parser("parameters", help="print the Table II parameter grids")
+    params.add_argument("--fast", action="store_true", help="show the thinned laptop-scale grids")
+
+    fabricate = subparsers.add_parser("fabricate", help="fabricate dataset pairs to CSV files")
+    fabricate.add_argument("--source", choices=sorted(_SOURCES), default="tpcdi")
+    fabricate.add_argument("--rows", type=int, default=400, help="seed table row count")
+    fabricate.add_argument("--output", type=Path, default=Path("fabricated_pairs"))
+    fabricate.add_argument("--scenario", choices=[s.value for s in Scenario], default=None)
+
+    run = subparsers.add_parser("run", help="run the experiment grid and print summaries")
+    run.add_argument("--source", choices=sorted(_SOURCES), default="tpcdi")
+    run.add_argument("--rows", type=int, default=200, help="seed table row count")
+    run.add_argument("--methods", nargs="*", default=None, help="subset of method names to run")
+    run.add_argument("--full-grid", action="store_true", help="use the full Table II grids")
+    run.add_argument("--output", type=Path, default=None, help="write results JSON to this path")
+
+    match = subparsers.add_parser("match", help="match two CSV files")
+    match.add_argument("source_csv", type=Path)
+    match.add_argument("target_csv", type=Path)
+    match.add_argument("--method", default="ComaSchema", help="registered matcher name")
+    match.add_argument("--top", type=int, default=20, help="number of ranked matches to print")
+
+    return parser
+
+
+def _command_coverage() -> int:
+    print(render_coverage_table())
+    return 0
+
+
+def _command_parameters(fast: bool) -> int:
+    print(render_parameter_grids(default_parameter_grids(fast=fast)))
+    return 0
+
+
+def _command_fabricate(source: str, rows: int, output: Path, scenario: str | None) -> int:
+    seed_table = _SOURCES[source](num_rows=rows)
+    fabricator = Fabricator(FabricationConfig())
+    scenarios = [Scenario(scenario)] if scenario else None
+    pairs = fabricator.fabricate(seed_table, scenarios=scenarios)
+    output.mkdir(parents=True, exist_ok=True)
+    for pair in pairs:
+        write_csv(pair.source, output / f"{pair.name}__source.csv")
+        write_csv(pair.target, output / f"{pair.name}__target.csv")
+        ground_truth_path = output / f"{pair.name}__ground_truth.csv"
+        with ground_truth_path.open("w", encoding="utf-8") as handle:
+            handle.write("source_column,target_column\n")
+            for source_column, target_column in pair.ground_truth:
+                handle.write(f"{source_column},{target_column}\n")
+    print(f"fabricated {len(pairs)} pairs from {source} into {output}")
+    return 0
+
+
+def _command_run(
+    source: str, rows: int, methods: list[str] | None, full_grid: bool, output: Path | None
+) -> int:
+    seed_table = _SOURCES[source](num_rows=rows)
+    fabricator = Fabricator(FabricationConfig())
+    pairs = fabricator.fabricate(seed_table)
+    grids = default_parameter_grids(fast=not full_grid)
+    runner = ExperimentRunner(grids=grids, progress_callback=lambda msg: print("  " + msg))
+    print(f"running {runner.total_runs(len(pairs), methods)} experiments over {len(pairs)} pairs")
+    results = runner.run_all(pairs, methods=methods)
+    print(render_boxplot_figure(results, title=f"Recall@ground-truth summaries ({source})"))
+    if output is not None:
+        results.to_json(output)
+        print(f"results written to {output}")
+    return 0
+
+
+def _command_match(source_csv: Path, target_csv: Path, method: str, top: int) -> int:
+    source = read_csv(source_csv)
+    target = read_csv(target_csv)
+    matcher = matcher_class(method)()
+    result = matcher.get_matches(source, target)
+    for match in result.top_k(top):
+        print(f"{match.score:.3f}  {match.source}  ~  {match.target}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "coverage":
+        return _command_coverage()
+    if args.command == "parameters":
+        return _command_parameters(args.fast)
+    if args.command == "fabricate":
+        return _command_fabricate(args.source, args.rows, args.output, args.scenario)
+    if args.command == "run":
+        return _command_run(args.source, args.rows, args.methods, args.full_grid, args.output)
+    if args.command == "match":
+        return _command_match(args.source_csv, args.target_csv, args.method, args.top)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

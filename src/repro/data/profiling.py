@@ -1,0 +1,98 @@
+"""Column profiling utilities.
+
+Several matchers need lightweight statistics about columns — distinctness,
+value-length statistics, numeric summaries — and the experiment reports print
+dataset profiles.  This module centralises those computations so matchers do
+not each re-derive them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.data.table import Column, Table
+from repro.data.types import DataType
+
+__all__ = ["ColumnProfile", "profile_column", "profile_table"]
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Summary statistics of a single column.
+
+    Attributes
+    ----------
+    name:
+        Column name.
+    data_type:
+        Inferred data type.
+    row_count:
+        Total number of cells.
+    distinct_count:
+        Number of distinct non-missing values.
+    missing_count:
+        Number of missing cells.
+    mean / std / minimum / maximum:
+        Numeric summaries (``None`` for non-numeric columns).
+    avg_length:
+        Average rendered string length of non-missing values.
+    """
+
+    name: str
+    data_type: DataType
+    row_count: int
+    distinct_count: int
+    missing_count: int
+    mean: Optional[float]
+    std: Optional[float]
+    minimum: Optional[float]
+    maximum: Optional[float]
+    avg_length: float
+
+    @property
+    def uniqueness(self) -> float:
+        """Distinct values divided by non-missing cells (0 for empty columns)."""
+        non_missing = self.row_count - self.missing_count
+        return self.distinct_count / non_missing if non_missing else 0.0
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of cells that are present."""
+        return 1.0 - (self.missing_count / self.row_count) if self.row_count else 0.0
+
+
+def profile_column(column: Column) -> ColumnProfile:
+    """Compute a :class:`ColumnProfile` for *column*."""
+    non_missing = column.non_missing()
+    distinct = len(column.unique_values())
+    missing = len(column) - len(non_missing)
+    mean = std = minimum = maximum = None
+    if column.data_type.is_numeric:
+        numbers = column.numeric_values()
+        if numbers:
+            mean = sum(numbers) / len(numbers)
+            variance = sum((x - mean) ** 2 for x in numbers) / len(numbers)
+            std = math.sqrt(variance)
+            minimum = min(numbers)
+            maximum = max(numbers)
+    lengths = [len(str(v)) for v in non_missing]
+    avg_length = sum(lengths) / len(lengths) if lengths else 0.0
+    return ColumnProfile(
+        name=column.name,
+        data_type=column.data_type,
+        row_count=len(column),
+        distinct_count=distinct,
+        missing_count=missing,
+        mean=mean,
+        std=std,
+        minimum=minimum,
+        maximum=maximum,
+        avg_length=avg_length,
+    )
+
+
+def profile_table(table: Table) -> dict[str, ColumnProfile]:
+    """Profile every column of *table*; keyed by column name."""
+    return {column.name: profile_column(column) for column in table.columns}

@@ -1,0 +1,166 @@
+"""Synthetic seed tables standing in for the fabricated dataset sources.
+
+Section V-A of the paper fabricates 540 dataset pairs from three sources:
+
+* **TPC-DI** — the ``Prospect`` table (11–22 columns, 7 492–14 983 rows);
+* **Open Data** — a wide table from Canada/USA/UK open data
+  (26–51 columns, 11 628–23 255 rows);
+* **ChEMBL** — the ``Assays`` table (12–23 columns, 7 500–15 000 rows).
+
+These sources are not redistributable offline, so each generator below builds
+a deterministic synthetic seed table with the same column-count range,
+data-type mix (identifiers, person data, monetary amounts, categorical codes,
+free text, measurements) and naming conventions.  A row-count knob shrinks
+the tables for laptop-scale experiments while preserving the structure — the
+matchers only see names, types and value sets, so relative method behaviour
+is preserved.
+"""
+
+from __future__ import annotations
+
+from repro.data.table import Column, Table
+from repro.datasets.vocabulary import (
+    FIRST_NAMES,
+    LAST_NAMES,
+    ORGANISMS,
+    TARGET_PROTEINS,
+    ValueSampler,
+)
+
+__all__ = ["tpcdi_prospect_table", "open_data_table", "chembl_assays_table"]
+
+
+def tpcdi_prospect_table(num_rows: int = 800, seed: int = 11) -> Table:
+    """A synthetic stand-in for the TPC-DI ``Prospect`` table (17 columns).
+
+    The real Prospect table describes marketing prospects: agency identifiers,
+    person names, address fields, demographics and financial figures.
+    """
+    sampler = ValueSampler(seed)
+    agencies = [sampler.identifier("AGY", 4) for _ in range(max(10, num_rows // 50))]
+    rows = num_rows
+    columns = [
+        Column("agency_id", [sampler.choice(agencies) for _ in range(rows)]),
+        Column("last_name", [sampler.choice(LAST_NAMES) for _ in range(rows)]),
+        Column("first_name", [sampler.choice(FIRST_NAMES) for _ in range(rows)]),
+        Column("middle_initial", [sampler.choice("ABCDEFGHJKLMNPRSTW") for _ in range(rows)]),
+        Column("gender", [sampler.choice(("M", "F")) for _ in range(rows)]),
+        Column("address_line1", [sampler.street_address() for _ in range(rows)]),
+        Column(
+            "address_line2",
+            [f"Apt {sampler.integer(1, 99)}" if sampler.rng.random() < 0.3 else None for _ in range(rows)],
+        ),
+        Column("postal_code", [sampler.postal_code() for _ in range(rows)]),
+        Column("city", [sampler.city() for _ in range(rows)]),
+        Column(
+            "state_province",
+            [sampler.choice(("NY", "CA", "TX", "WA", "MA", "NH", "ZH", "NB")) for _ in range(rows)],
+        ),
+        Column("country", [sampler.country() for _ in range(rows)]),
+        Column("phone", [sampler.phone() for _ in range(rows)]),
+        Column("income", [sampler.integer(20000, 250000) for _ in range(rows)]),
+        Column("number_cars", [sampler.integer(0, 4) for _ in range(rows)]),
+        Column("number_children", [sampler.integer(0, 5) for _ in range(rows)]),
+        Column("age", [sampler.integer(18, 90) for _ in range(rows)]),
+        Column("net_worth", [sampler.amount(1000, 2_000_000) for _ in range(rows)]),
+    ]
+    return Table("tpcdi_prospect", columns)
+
+
+def open_data_table(num_rows: int = 1000, seed: int = 23) -> Table:
+    """A synthetic stand-in for the wide Open Data contracts table (28 columns).
+
+    Open-government tables mix administrative codes, organisation names,
+    locations, dates, budget figures and free-text descriptions.
+    """
+    sampler = ValueSampler(seed)
+    programs = [f"Program {chr(65 + i)}" for i in range(12)]
+    departments = [sampler.company() for _ in range(15)]
+    rows = num_rows
+    description_words = (
+        "annual", "maintenance", "support", "licence", "infrastructure",
+        "services", "supply", "renewal", "upgrade", "framework",
+    )
+    comment_words = ("approved", "pending", "review", "completed", "extended", "amended", "on", "hold")
+    columns = [
+        Column("record_id", [sampler.identifier("REC", 7) for _ in range(rows)]),
+        Column("fiscal_year", [sampler.integer(2008, 2020) for _ in range(rows)]),
+        Column("quarter", [sampler.choice(("Q1", "Q2", "Q3", "Q4")) for _ in range(rows)]),
+        Column("department_name", [sampler.choice(departments) for _ in range(rows)]),
+        Column("department_code", [sampler.identifier("DEP", 3) for _ in range(rows)]),
+        Column("program_name", [sampler.choice(programs) for _ in range(rows)]),
+        Column("program_code", [sampler.identifier("PRG", 4) for _ in range(rows)]),
+        Column("vendor_name", [sampler.company() for _ in range(rows)]),
+        Column("vendor_city", [sampler.city() for _ in range(rows)]),
+        Column("vendor_country", [sampler.country() for _ in range(rows)]),
+        Column("vendor_postal_code", [sampler.postal_code() for _ in range(rows)]),
+        Column("contract_value", [sampler.amount(500, 5_000_000) for _ in range(rows)]),
+        Column("amended_value", [sampler.amount(500, 5_000_000) for _ in range(rows)]),
+        Column("contract_date", [sampler.date(2008, 2020) for _ in range(rows)]),
+        Column("delivery_date", [sampler.date(2009, 2021) for _ in range(rows)]),
+        Column(
+            "contract_type",
+            [sampler.choice(("goods", "services", "construction", "lease")) for _ in range(rows)],
+        ),
+        Column(
+            "solicitation_procedure",
+            [sampler.choice(("open", "selective", "limited", "negotiated")) for _ in range(rows)],
+        ),
+        Column("owner_organization", [sampler.choice(departments) for _ in range(rows)]),
+        Column("responsible_officer", [sampler.person_name() for _ in range(rows)]),
+        Column("officer_email", [sampler.email() for _ in range(rows)]),
+        Column("region", [sampler.choice(("North", "South", "East", "West", "Central")) for _ in range(rows)]),
+        Column("municipality", [sampler.city() for _ in range(rows)]),
+        Column("description", [sampler.sentence(description_words, 8) for _ in range(rows)]),
+        Column("comments", [sampler.sentence(comment_words, 5) for _ in range(rows)]),
+        Column("number_of_bids", [sampler.integer(1, 25) for _ in range(rows)]),
+        Column("employee_count", [sampler.integer(1, 5000) for _ in range(rows)]),
+        Column("budget_allocated", [sampler.amount(10_000, 10_000_000) for _ in range(rows)]),
+        Column("budget_spent", [sampler.amount(10_000, 10_000_000) for _ in range(rows)]),
+        Column("status", [sampler.choice(("active", "closed", "cancelled", "planned")) for _ in range(rows)]),
+    ]
+    return Table("open_data_contracts", columns)
+
+
+def chembl_assays_table(num_rows: int = 800, seed: int = 37) -> Table:
+    """A synthetic stand-in for the ChEMBL ``Assays`` table (16 columns).
+
+    The Assays table records bio-assay experiments: accession identifiers,
+    descriptions, assay types, target/organism/cell annotations, confidence
+    scores and measured values.
+    """
+    sampler = ValueSampler(seed)
+    rows = num_rows
+    journal_names = ("J Med Chem", "Bioorg Med Chem", "Eur J Pharmacol", "Nature", "Science", "Cell")
+    description_words = (
+        "inhibition", "binding", "affinity", "activity", "assay", "against",
+        "human", "recombinant", "enzyme", "cells", "measured", "in", "vitro",
+    )
+    columns = [
+        Column("assay_id", [sampler.integer(100000, 999999) for _ in range(rows)]),
+        Column("assay_chembl_id", [sampler.identifier("CHEMBL", 7) for _ in range(rows)]),
+        Column("description", [sampler.sentence(description_words, 9) for _ in range(rows)]),
+        Column("assay_type", [sampler.choice(("B", "F", "A", "T", "P")) for _ in range(rows)]),
+        Column(
+            "assay_category",
+            [sampler.choice(("screening", "confirmatory", "panel", "other")) for _ in range(rows)],
+        ),
+        Column("target_name", [sampler.choice(TARGET_PROTEINS) for _ in range(rows)]),
+        Column("target_chembl_id", [sampler.identifier("CHEMBL", 6) for _ in range(rows)]),
+        Column("organism", [sampler.choice(ORGANISMS) for _ in range(rows)]),
+        Column(
+            "cell_line",
+            [sampler.choice(("HeLa", "MCF7", "A549", "HEK293", "HepG2", "U87", "PC3")) if sampler.rng.random() < 0.8 else None for _ in range(rows)],
+        ),
+        Column(
+            "tissue",
+            [sampler.choice(("liver", "lung", "breast", "brain", "kidney", "blood")) if sampler.rng.random() < 0.7 else None for _ in range(rows)],
+        ),
+        Column("confidence_score", [sampler.integer(0, 9) for _ in range(rows)]),
+        Column("standard_type", [sampler.choice(("IC50", "Ki", "EC50", "Kd", "Potency")) for _ in range(rows)]),
+        Column("standard_value", [sampler.amount(0.001, 10000.0) for _ in range(rows)]),
+        Column("standard_units", [sampler.choice(("nM", "uM", "mM")) for _ in range(rows)]),
+        Column("journal", [sampler.choice(journal_names) for _ in range(rows)]),
+        Column("publication_year", [sampler.integer(1995, 2020) for _ in range(rows)]),
+    ]
+    return Table("chembl_assays", columns)

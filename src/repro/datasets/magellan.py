@@ -1,0 +1,164 @@
+"""Synthetic stand-ins for the Magellan data repository pairs.
+
+The paper picks 7 Magellan dataset pairs previously used for schema matching
+evaluation by EmbDI.  They are unionable pairs of real-world tables (movies,
+restaurants, products, music, books, beers, bibliography) with *identical
+column naming conventions*, value overlap, 3–7 columns and up to ~130k rows
+— some with multi-valued attributes (e.g. lists of actors).
+
+The generators below reproduce those characteristics at laptop scale: for
+each domain, a pair of tables that share column names, have substantial but
+imperfect value overlap, and (for movies/music) multi-valued cells.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.table import Column, Table
+from repro.datasets.vocabulary import GENRES, ValueSampler
+from repro.fabrication.pairs import DatasetPair, NoiseVariant, Scenario
+
+__all__ = ["magellan_pairs"]
+
+
+def _overlapping_rows(
+    generator,
+    num_rows: int,
+    overlap: float,
+    rng: random.Random,
+) -> tuple[list[dict[str, object]], list[dict[str, object]]]:
+    """Generate two row lists sharing roughly ``overlap`` of their entities."""
+    shared_count = int(num_rows * overlap)
+    shared = [generator() for _ in range(shared_count)]
+    left_only = [generator() for _ in range(num_rows - shared_count)]
+    right_only = [generator() for _ in range(num_rows - shared_count)]
+    left = shared + left_only
+    right = shared + right_only
+    rng.shuffle(left)
+    rng.shuffle(right)
+    return left, right
+
+
+def _rows_to_table(name: str, rows: list[dict[str, object]]) -> Table:
+    if not rows:
+        return Table(name, [])
+    column_names = list(rows[0])
+    columns = [Column(col, [row[col] for row in rows]) for col in column_names]
+    return Table(name, columns)
+
+
+def _make_pair(
+    pair_name: str,
+    generator,
+    num_rows: int,
+    overlap: float,
+    rng: random.Random,
+) -> DatasetPair:
+    left_rows, right_rows = _overlapping_rows(generator, num_rows, overlap, rng)
+    source = _rows_to_table(f"{pair_name}_a", left_rows)
+    target = _rows_to_table(f"{pair_name}_b", right_rows)
+    ground_truth = [(name, name) for name in source.column_names]
+    pair = DatasetPair(
+        name=f"magellan_{pair_name}",
+        source=source,
+        target=target,
+        ground_truth=ground_truth,
+        scenario=Scenario.UNIONABLE,
+        variant=NoiseVariant.VERBATIM_SCHEMA_VERBATIM_INSTANCES,
+        metadata={"source_dataset": "magellan", "row_overlap": overlap},
+    )
+    pair.validate()
+    return pair
+
+
+def magellan_pairs(num_rows: int = 300, seed: int = 77) -> list[DatasetPair]:
+    """The seven Magellan-style unionable pairs."""
+    sampler = ValueSampler(seed)
+    rng = sampler.rng
+
+    def movie_row() -> dict[str, object]:
+        actors = "; ".join(sampler.person_name() for _ in range(rng.randint(2, 4)))
+        return {
+            "title": f"{sampler.choice(('The', 'A', 'Last', 'First', 'Dark', 'Bright'))} "
+            f"{sampler.choice(('Journey', 'Secret', 'Promise', 'Empire', 'Garden', 'Storm'))}",
+            "director": sampler.person_name(),
+            "actors": actors,
+            "year": sampler.integer(1970, 2020),
+            "genre": sampler.choice(("drama", "comedy", "thriller", "action", "romance")),
+            "rating": round(rng.uniform(1.0, 10.0), 1),
+        }
+
+    def restaurant_row() -> dict[str, object]:
+        return {
+            "name": f"{sampler.choice(('Golden', 'Blue', 'Royal', 'Little', 'Grand'))} "
+            f"{sampler.choice(('Dragon', 'Olive', 'Fork', 'Table', 'Garden'))}",
+            "address": sampler.street_address(),
+            "city": sampler.city(),
+            "phone": sampler.phone(),
+            "cuisine": sampler.choice(("italian", "chinese", "mexican", "indian", "french", "thai")),
+        }
+
+    def product_row() -> dict[str, object]:
+        return {
+            "product_name": f"{sampler.choice(('Ultra', 'Pro', 'Max', 'Eco', 'Smart'))} "
+            f"{sampler.choice(('Blender', 'Kettle', 'Vacuum', 'Router', 'Monitor', 'Keyboard'))}",
+            "brand": sampler.company(),
+            "price": sampler.amount(10, 900),
+            "category": sampler.choice(("kitchen", "electronics", "office", "outdoor")),
+        }
+
+    def song_row() -> dict[str, object]:
+        return {
+            "song_title": f"{sampler.choice(('Midnight', 'Summer', 'Broken', 'Golden', 'Lonely'))} "
+            f"{sampler.choice(('Dream', 'Heart', 'Road', 'Dance', 'Rain'))}",
+            "artist": sampler.person_name(),
+            "album": f"{sampler.choice(('Echoes', 'Horizons', 'Reflections', 'Origins'))}",
+            "genre": sampler.choice(GENRES),
+            "duration_seconds": sampler.integer(120, 420),
+            "release_year": sampler.integer(1965, 2020),
+            "label": f"{sampler.choice(('Sun', 'Motown', 'Atlantic', 'Capitol'))} Records",
+        }
+
+    def book_row() -> dict[str, object]:
+        return {
+            "title": f"{sampler.choice(('History of', 'Introduction to', 'The Art of', 'Notes on'))} "
+            f"{sampler.choice(('Databases', 'Gardens', 'Mountains', 'Cities', 'Painting'))}",
+            "author": sampler.person_name(),
+            "publisher": sampler.company(),
+            "year": sampler.integer(1950, 2021),
+            "isbn": f"978-{sampler.integer(0, 9)}-{sampler.integer(100, 999)}-{sampler.integer(10000, 99999)}-{sampler.integer(0, 9)}",
+            "pages": sampler.integer(80, 900),
+        }
+
+    def beer_row() -> dict[str, object]:
+        return {
+            "beer_name": f"{sampler.choice(('Hoppy', 'Dark', 'Golden', 'Wild', 'Old'))} "
+            f"{sampler.choice(('Fox', 'Monk', 'Anchor', 'Barrel', 'River'))}",
+            "brewery": f"{sampler.choice(('North', 'South', 'Harbor', 'Valley'))} Brewing",
+            "style": sampler.choice(("IPA", "stout", "lager", "pilsner", "porter", "saison")),
+            "abv": round(rng.uniform(3.5, 12.0), 1),
+        }
+
+    def citation_row() -> dict[str, object]:
+        return {
+            "title": f"{sampler.choice(('On', 'Towards', 'A Study of', 'Revisiting'))} "
+            f"{sampler.choice(('Query Optimization', 'Schema Matching', 'Data Lakes', 'Stream Processing', 'Entity Resolution'))}",
+            "authors": "; ".join(sampler.person_name() for _ in range(rng.randint(1, 4))),
+            "venue": sampler.choice(("SIGMOD", "VLDB", "ICDE", "EDBT", "CIKM")),
+            "year": sampler.integer(1995, 2021),
+        }
+
+    pair_specs = (
+        ("movies", movie_row, 0.6),
+        ("restaurants", restaurant_row, 0.5),
+        ("products", product_row, 0.55),
+        ("songs", song_row, 0.6),
+        ("books", book_row, 0.5),
+        ("beers", beer_row, 0.5),
+        ("citations", citation_row, 0.6),
+    )
+    return [
+        _make_pair(name, generator, num_rows, overlap, rng)
+        for name, generator, overlap in pair_specs
+    ]

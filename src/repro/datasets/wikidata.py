@@ -1,0 +1,213 @@
+"""Synthetic stand-in for the human-curated WikiData singer pairs.
+
+Section V-B builds two tables about USA-citizen singers queried from
+WikiData: both start from the same twenty-column schema, then the second
+table's column names are varied (``partner`` → ``spouse``) and the values of
+six selected columns are replaced with alternative encodings of the same
+entity (``Elvis Presley`` → ``Elvis Aaron Presley``).  Variants for all four
+relatedness scenarios are then curated manually.
+
+The generator below reproduces that construction synthetically: a seed
+"singers" table, a renamed/re-encoded counterpart, and the four scenario
+variants with hand-derived ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.table import Column, Table
+from repro.datasets.vocabulary import COUNTRY_CODES, GENRES, ValueSampler
+from repro.fabrication.pairs import DatasetPair, NoiseVariant, Scenario
+from repro.fabrication.splitting import split_horizontal, split_vertical
+
+__all__ = ["wikidata_singers_table", "wikidata_pairs"]
+
+#: Renamings applied to the second table (original name → alternative name).
+_RENAMINGS: dict[str, str] = {
+    "artist_name": "singer",
+    "birth_name": "full_name",
+    "partner": "spouse",
+    "father_name": "parent_father",
+    "mother_name": "parent_mother",
+    "song_genre": "music_style",
+    "record_label": "label",
+    "birth_city": "place_of_birth",
+    "citizenship": "country_of_citizenship",
+    "active_since": "career_start",
+    "band_name": "group",
+    "official_site": "website",
+}
+
+#: Columns whose values are re-encoded in the second table.
+_REENCODED_COLUMNS = (
+    "artist_name",
+    "citizenship",
+    "song_genre",
+    "partner",
+    "birth_city",
+    "record_label",
+)
+
+
+def wikidata_singers_table(num_rows: int = 400, seed: int = 101) -> Table:
+    """A synthetic twenty-column "USA singers" table."""
+    sampler = ValueSampler(seed)
+    rows = num_rows
+    labels = [f"{sampler.choice(('Sun', 'Motown', 'Atlantic', 'Capitol', 'Columbia', 'Decca'))} Records" for _ in range(rows)]
+    columns = [
+        Column("artist_name", [sampler.person_name() for _ in range(rows)]),
+        Column("birth_name", [sampler.person_name() for _ in range(rows)]),
+        Column("gender", [sampler.choice(("male", "female")) for _ in range(rows)]),
+        Column("birth_date", [sampler.date(1930, 2000) for _ in range(rows)]),
+        Column("birth_city", [sampler.city() for _ in range(rows)]),
+        Column("citizenship", [sampler.country() for _ in range(rows)]),
+        Column("father_name", [sampler.person_name() for _ in range(rows)]),
+        Column("mother_name", [sampler.person_name() for _ in range(rows)]),
+        Column("partner", [sampler.person_name() for _ in range(rows)]),
+        Column("children_count", [sampler.integer(0, 6) for _ in range(rows)]),
+        Column("song_genre", [sampler.choice(GENRES) for _ in range(rows)]),
+        Column("instrument", [sampler.choice(("guitar", "piano", "vocals", "drums", "bass", "violin")) for _ in range(rows)]),
+        Column("record_label", [labels[i] for i in range(rows)]),
+        Column("band_name", [f"The {sampler.choice(('Wanderers', 'Drifters', 'Voyagers', 'Comets', 'Strangers', 'Dreamers'))}" for _ in range(rows)]),
+        Column("debut_album", [f"{sampler.choice(('Midnight', 'Golden', 'Electric', 'Silent', 'Velvet'))} {sampler.choice(('Road', 'Dreams', 'Hearts', 'Nights', 'City'))}" for _ in range(rows)]),
+        Column("active_since", [sampler.integer(1950, 2015) for _ in range(rows)]),
+        Column("awards_count", [sampler.integer(0, 30) for _ in range(rows)]),
+        Column("height_cm", [sampler.integer(150, 200) for _ in range(rows)]),
+        Column("official_site", [f"www.{sampler.choice(('music', 'songs', 'artist', 'star'))}{sampler.integer(1, 999)}.com" for _ in range(rows)]),
+        Column("description", [sampler.sentence(("american", "singer", "songwriter", "performer", "musician", "award", "winning", "famous"), 6) for _ in range(rows)]),
+    ]
+    return Table("wikidata_singers", columns)
+
+
+def _reencode_value(column_name: str, value: object, rng: random.Random) -> object:
+    """Alternative encoding of a value, mimicking WikiData label variants."""
+    text = str(value)
+    if column_name == "citizenship":
+        return COUNTRY_CODES.get(text, text)
+    if column_name in ("artist_name", "partner"):
+        parts = text.split()
+        if len(parts) == 2:
+            middle = rng.choice(("Lee", "Aaron", "Marie", "Ray", "Jean", "May"))
+            return f"{parts[0]} {middle} {parts[1]}"
+        return text
+    if column_name == "song_genre":
+        return text.replace(" ", "-").title()
+    if column_name == "birth_city":
+        return f"{text} City" if not text.endswith("City") else text
+    if column_name == "record_label":
+        return text.replace(" Records", " Recordings")
+    return text
+
+
+def _build_counterpart(seed_table: Table, rng: random.Random) -> tuple[Table, dict[str, str]]:
+    """The second WikiData table: renamed columns + re-encoded values."""
+    columns = []
+    for column in seed_table.columns:
+        values = list(column.values)
+        if column.name in _REENCODED_COLUMNS:
+            values = [_reencode_value(column.name, v, rng) for v in values]
+        columns.append(Column(_RENAMINGS.get(column.name, column.name), values))
+    counterpart = Table("wikidata_singers_alt", columns)
+    mapping = {name: _RENAMINGS.get(name, name) for name in seed_table.column_names}
+    return counterpart, mapping
+
+
+def wikidata_pairs(num_rows: int = 400, seed: int = 101) -> list[DatasetPair]:
+    """The four curated WikiData pairs (one per relatedness scenario)."""
+    rng = random.Random(seed)
+    seed_table = wikidata_singers_table(num_rows=num_rows, seed=seed)
+    counterpart, mapping = _build_counterpart(seed_table, rng)
+
+    pairs: list[DatasetPair] = []
+
+    # Unionable: same attributes on both sides (renamed + re-encoded), rows split.
+    first_half = seed_table.slice_rows(0, seed_table.num_rows // 2, name="wikidata_singers_a")
+    second_half = counterpart.slice_rows(
+        seed_table.num_rows // 3, counterpart.num_rows, name="wikidata_singers_b"
+    )
+    pairs.append(
+        DatasetPair(
+            name="wikidata_unionable",
+            source=first_half,
+            target=second_half,
+            ground_truth=[(name, mapping[name]) for name in seed_table.column_names],
+            scenario=Scenario.UNIONABLE,
+            variant=NoiseVariant.NOISY_SCHEMA_NOISY_INSTANCES,
+            metadata={"source_dataset": "wikidata"},
+        )
+    )
+
+    # View-unionable: each side keeps a column subset; no row overlap.
+    vertical = split_vertical(seed_table, 0.6, rng)
+    left = split_horizontal(vertical.first, 0.0, rng).first.rename("wikidata_view_a")
+    right_raw = split_horizontal(vertical.second, 0.0, rng).second
+    right_columns = [
+        Column(
+            mapping[c.name],
+            [_reencode_value(c.name, v, rng) for v in c.values] if c.name in _REENCODED_COLUMNS else list(c.values),
+        )
+        for c in right_raw.columns
+    ]
+    right = Table("wikidata_view_b", right_columns)
+    pairs.append(
+        DatasetPair(
+            name="wikidata_view_unionable",
+            source=left,
+            target=right,
+            ground_truth=[(name, mapping[name]) for name in vertical.shared_columns],
+            scenario=Scenario.VIEW_UNIONABLE,
+            variant=NoiseVariant.NOISY_SCHEMA_NOISY_INSTANCES,
+            metadata={"source_dataset": "wikidata"},
+        )
+    )
+
+    # Joinable: column split with verbatim instances on the shared columns.
+    vertical_join = split_vertical(seed_table, 0.4, rng)
+    join_left = vertical_join.first.rename("wikidata_join_a")
+    join_right = Table(
+        "wikidata_join_b",
+        [Column(mapping[c.name], list(c.values)) for c in vertical_join.second.columns],
+    )
+    pairs.append(
+        DatasetPair(
+            name="wikidata_joinable",
+            source=join_left,
+            target=join_right,
+            ground_truth=[(name, mapping[name]) for name in vertical_join.shared_columns],
+            scenario=Scenario.JOINABLE,
+            variant=NoiseVariant.NOISY_SCHEMA_VERBATIM_INSTANCES,
+            metadata={"source_dataset": "wikidata"},
+        )
+    )
+
+    # Semantically joinable: as joinable but shared-column values re-encoded.
+    vertical_sem = split_vertical(seed_table, 0.4, rng)
+    sem_left = vertical_sem.first.rename("wikidata_semjoin_a")
+    sem_right = Table(
+        "wikidata_semjoin_b",
+        [
+            Column(
+                mapping[c.name],
+                [_reencode_value(c.name, v, rng) for v in c.values]
+                if c.name in _REENCODED_COLUMNS
+                else list(c.values),
+            )
+            for c in vertical_sem.second.columns
+        ],
+    )
+    pairs.append(
+        DatasetPair(
+            name="wikidata_semantically_joinable",
+            source=sem_left,
+            target=sem_right,
+            ground_truth=[(name, mapping[name]) for name in vertical_sem.shared_columns],
+            scenario=Scenario.SEMANTICALLY_JOINABLE,
+            variant=NoiseVariant.NOISY_SCHEMA_NOISY_INSTANCES,
+            metadata={"source_dataset": "wikidata"},
+        )
+    )
+
+    for pair in pairs:
+        pair.validate()
+    return pairs

@@ -1,0 +1,17 @@
+"""Dataset discovery layer: table-level relatedness, repository search, feedback."""
+
+from repro.discovery.feedback import FeedbackDecision, FeedbackSession
+from repro.discovery.relatedness import RelatednessScores, joinability, relatedness, unionability
+from repro.discovery.search import DatasetRepository, DiscoveryEngine, DiscoveryResult
+
+__all__ = [
+    "RelatednessScores",
+    "joinability",
+    "unionability",
+    "relatedness",
+    "DatasetRepository",
+    "DiscoveryEngine",
+    "DiscoveryResult",
+    "FeedbackDecision",
+    "FeedbackSession",
+]

@@ -1,0 +1,148 @@
+"""Human-in-the-loop feedback over ranked matches.
+
+One of the paper's "lessons learned" (Section IX) is that matching methods
+should accept feedback from humans "in the form of positive/negative
+examples" rather than parameters, and should treat matching as a *search*
+problem whose ranked results are refined interactively.  This module provides
+that loop:
+
+* a :class:`FeedbackSession` wraps a :class:`MatchResult`, records accept /
+  reject decisions on individual column pairs, and re-ranks the remaining
+  candidates;
+* re-ranking combines the matcher's original scores with similarity to the
+  accepted examples and dissimilarity to the rejected ones (a lightweight
+  Rocchio-style update over name-token features).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.matchers.base import Match, MatchResult
+from repro.text.distance import jaro_winkler_similarity, monge_elkan
+from repro.text.tokenize import tokenize_identifier
+
+__all__ = ["FeedbackDecision", "FeedbackSession"]
+
+
+@dataclass(frozen=True)
+class FeedbackDecision:
+    """One user decision about a candidate column pair."""
+
+    source_column: str
+    target_column: str
+    accepted: bool
+
+
+def _pair_affinity(pair_a: tuple[str, str], pair_b: tuple[str, str]) -> float:
+    """Similarity between two column *pairs* based on their name tokens.
+
+    Two pairs are similar when their source names resemble each other and
+    their target names resemble each other — the signal used to generalise a
+    user's decision to similar candidates.
+    """
+    source_sim = monge_elkan(
+        tokenize_identifier(pair_a[0]), tokenize_identifier(pair_b[0]), inner=jaro_winkler_similarity
+    )
+    target_sim = monge_elkan(
+        tokenize_identifier(pair_a[1]), tokenize_identifier(pair_b[1]), inner=jaro_winkler_similarity
+    )
+    return (source_sim + target_sim) / 2.0
+
+
+class FeedbackSession:
+    """Interactive refinement of a ranked match list.
+
+    Parameters
+    ----------
+    result:
+        The matcher's original ranking.
+    feedback_weight:
+        How strongly accepted/rejected examples shift the scores of the
+        remaining candidates (0 disables generalisation; decisions about a
+        specific pair always pin that pair to the top/bottom).
+    """
+
+    def __init__(self, result: MatchResult, feedback_weight: float = 0.3) -> None:
+        if not 0.0 <= feedback_weight <= 1.0:
+            raise ValueError("feedback_weight must be in [0, 1]")
+        self._original = result
+        self.feedback_weight = feedback_weight
+        self._decisions: dict[tuple[str, str], bool] = {}
+
+    # ------------------------------------------------------------------ #
+    # recording decisions
+    # ------------------------------------------------------------------ #
+    def accept(self, source_column: str, target_column: str) -> None:
+        """Mark a candidate pair as a correct match."""
+        self._decisions[(source_column, target_column)] = True
+
+    def reject(self, source_column: str, target_column: str) -> None:
+        """Mark a candidate pair as incorrect."""
+        self._decisions[(source_column, target_column)] = False
+
+    def record(self, decisions: Iterable[FeedbackDecision]) -> None:
+        """Record a batch of decisions."""
+        for decision in decisions:
+            self._decisions[(decision.source_column, decision.target_column)] = decision.accepted
+
+    @property
+    def decisions(self) -> list[FeedbackDecision]:
+        """All recorded decisions."""
+        return [
+            FeedbackDecision(source_column=pair[0], target_column=pair[1], accepted=accepted)
+            for pair, accepted in self._decisions.items()
+        ]
+
+    @property
+    def accepted_pairs(self) -> list[tuple[str, str]]:
+        """Pairs the user confirmed."""
+        return [pair for pair, accepted in self._decisions.items() if accepted]
+
+    @property
+    def rejected_pairs(self) -> list[tuple[str, str]]:
+        """Pairs the user rejected."""
+        return [pair for pair, accepted in self._decisions.items() if not accepted]
+
+    # ------------------------------------------------------------------ #
+    # re-ranking
+    # ------------------------------------------------------------------ #
+    def _adjusted_score(self, match: Match) -> float:
+        pair = match.as_pair()
+        decision = self._decisions.get(pair)
+        if decision is True:
+            return 1.0
+        if decision is False:
+            return 0.0
+        if not self._decisions or self.feedback_weight == 0.0:
+            return match.score
+        boost = 0.0
+        if self.accepted_pairs:
+            boost += max(_pair_affinity(pair, accepted) for accepted in self.accepted_pairs)
+        if self.rejected_pairs:
+            boost -= max(_pair_affinity(pair, rejected) for rejected in self.rejected_pairs)
+        adjusted = (1.0 - self.feedback_weight) * match.score + self.feedback_weight * (
+            (boost + 1.0) / 2.0
+        )
+        return min(1.0, max(0.0, adjusted))
+
+    def reranked(self) -> MatchResult:
+        """Return the ranking updated with the recorded feedback.
+
+        Accepted pairs move to the top (score 1), rejected pairs to the
+        bottom (score 0), and undecided pairs are shifted towards or away
+        from the confirmed examples according to name-token affinity.
+        """
+        adjusted = [
+            Match(self._adjusted_score(match), match.source, match.target)
+            for match in self._original
+        ]
+        return MatchResult(adjusted)
+
+    def next_candidates(self, k: int = 5) -> list[Match]:
+        """The *k* highest-ranked pairs the user has not decided on yet."""
+        pending = [
+            match for match in self.reranked() if match.as_pair() not in self._decisions
+        ]
+        return pending[:k]

@@ -1,0 +1,128 @@
+"""Dataset discovery over a repository of tables.
+
+This is "Valentine as a Discovery Component" (Section II-B) turned into an
+API: a :class:`DatasetRepository` holds candidate tables, and
+:class:`DiscoveryEngine` ranks them against a query table by joinability or
+unionability using any bundled matcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.data.table import Table
+from repro.discovery.relatedness import RelatednessScores, relatedness
+from repro.matchers.base import BaseMatcher, MatchResult
+
+__all__ = ["DatasetRepository", "DiscoveryResult", "DiscoveryEngine"]
+
+
+class DatasetRepository:
+    """A named collection of candidate tables (an in-memory "data lake")."""
+
+    def __init__(self, tables: Iterable[Table] = ()) -> None:
+        self._tables: dict[str, Table] = {}
+        for table in tables:
+            self.add(table)
+
+    def add(self, table: Table) -> None:
+        """Register a table under its own name (replacing any previous one)."""
+        self._tables[table.name] = table
+
+    def remove(self, name: str) -> None:
+        """Remove a table; missing names are ignored."""
+        self._tables.pop(name, None)
+
+    def get(self, name: str) -> Optional[Table]:
+        """Return the table called *name* or ``None``."""
+        return self._tables.get(name)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        """Names of all registered tables."""
+        return list(self._tables)
+
+
+@dataclass(frozen=True)
+class DiscoveryResult:
+    """One candidate table scored against the query."""
+
+    table_name: str
+    scores: RelatednessScores
+    matches: MatchResult
+
+    @property
+    def joinability(self) -> float:
+        return self.scores.joinability
+
+    @property
+    def unionability(self) -> float:
+        return self.scores.unionability
+
+
+@dataclass
+class DiscoveryEngine:
+    """Ranks repository tables against a query table using a column matcher.
+
+    Attributes
+    ----------
+    matcher:
+        Any :class:`~repro.matchers.base.BaseMatcher`.
+    union_threshold:
+        Column-score threshold used by the unionability measure.
+    """
+
+    matcher: BaseMatcher
+    union_threshold: float = 0.55
+
+    def score_pair(self, query: Table, candidate: Table) -> DiscoveryResult:
+        """Match *query* against one *candidate* and derive table-level scores."""
+        matches = self.matcher.get_matches(query, candidate)
+        scores = relatedness(matches, query, threshold=self.union_threshold)
+        return DiscoveryResult(table_name=candidate.name, scores=scores, matches=matches)
+
+    def discover(
+        self,
+        query: Table,
+        repository: DatasetRepository,
+        mode: str = "joinable",
+        top_k: Optional[int] = None,
+    ) -> list[DiscoveryResult]:
+        """Rank every repository table against *query*.
+
+        Parameters
+        ----------
+        query:
+            The input table.
+        repository:
+            Candidate tables.
+        mode:
+            ``"joinable"`` (rank by joinability), ``"unionable"`` (rank by
+            unionability) or ``"combined"``.
+        top_k:
+            Optionally truncate the ranking.
+        """
+        if mode not in ("joinable", "unionable", "combined"):
+            raise ValueError(f"unknown discovery mode {mode!r}")
+        results = [
+            self.score_pair(query, candidate)
+            for candidate in repository
+            if candidate.name != query.name
+        ]
+        if mode == "joinable":
+            results.sort(key=lambda r: (-r.joinability, r.table_name))
+        elif mode == "unionable":
+            results.sort(key=lambda r: (-r.unionability, r.table_name))
+        else:
+            results.sort(key=lambda r: (-r.scores.combined(), r.table_name))
+        return results[:top_k] if top_k is not None else results

@@ -1,0 +1,27 @@
+"""Distribution substrate: quantile histograms and Earth Mover's Distance."""
+
+from repro.distributions.emd import (
+    column_emd,
+    emd_1d,
+    emd_general,
+    histogram_emd,
+    intersection_emd,
+)
+from repro.distributions.histograms import (
+    QuantileHistogram,
+    build_histogram,
+    build_histogram_pair,
+    rank_values,
+)
+
+__all__ = [
+    "QuantileHistogram",
+    "build_histogram",
+    "build_histogram_pair",
+    "rank_values",
+    "emd_1d",
+    "emd_general",
+    "histogram_emd",
+    "column_emd",
+    "intersection_emd",
+]

@@ -1,0 +1,40 @@
+"""Vector similarity helpers shared by the embedding-based matchers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["cosine_similarity", "pairwise_cosine", "centroid"]
+
+
+def cosine_similarity(vector_a: np.ndarray, vector_b: np.ndarray) -> float:
+    """Cosine similarity of two vectors; 0.0 when either has zero norm."""
+    vector_a = np.asarray(vector_a, dtype=float)
+    vector_b = np.asarray(vector_b, dtype=float)
+    denom = np.linalg.norm(vector_a) * np.linalg.norm(vector_b)
+    if denom == 0:
+        return 0.0
+    return float(np.dot(vector_a, vector_b) / denom)
+
+
+def pairwise_cosine(matrix_a: np.ndarray, matrix_b: np.ndarray) -> np.ndarray:
+    """Cosine similarity matrix between the rows of two matrices."""
+    matrix_a = np.asarray(matrix_a, dtype=float)
+    matrix_b = np.asarray(matrix_b, dtype=float)
+    norms_a = np.linalg.norm(matrix_a, axis=1, keepdims=True)
+    norms_b = np.linalg.norm(matrix_b, axis=1, keepdims=True)
+    norms_a[norms_a == 0] = 1.0
+    norms_b[norms_b == 0] = 1.0
+    return (matrix_a / norms_a) @ (matrix_b / norms_b).T
+
+
+def centroid(vectors: Sequence[np.ndarray], dimensions: int | None = None) -> np.ndarray:
+    """Mean of a collection of vectors (zero vector when empty)."""
+    vectors = [np.asarray(v, dtype=float) for v in vectors]
+    if not vectors:
+        if dimensions is None:
+            raise ValueError("dimensions required for an empty vector collection")
+        return np.zeros(dimensions)
+    return np.mean(vectors, axis=0)

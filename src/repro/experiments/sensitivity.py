@@ -1,0 +1,115 @@
+"""Parameter sensitivity analysis (Table III of the paper).
+
+For each method under grid search, the paper varies a single parameter
+*ceteris paribus*, applies the method to every ChEMBL dataset pair and
+measures, per pair, the standard deviation of recall@ground-truth across the
+varied values.  Table III then reports the minimum, median and maximum of
+those standard deviations per parameter.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.experiments.parameters import ParameterGrid
+from repro.experiments.runner import run_single_experiment
+from repro.fabrication.pairs import DatasetPair
+
+__all__ = ["SensitivityResult", "parameter_sensitivity", "sensitivity_table"]
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Sensitivity of one method to one parameter.
+
+    Attributes
+    ----------
+    method / parameter:
+        Which grid entry was varied.
+    min_std / median_std / max_std:
+        Statistics over the per-pair standard deviations of recall@GT.
+    per_pair_std:
+        The underlying per-pair standard deviations.
+    """
+
+    method: str
+    parameter: str
+    min_std: float
+    median_std: float
+    max_std: float
+    per_pair_std: dict[str, float]
+
+
+def parameter_sensitivity(
+    grid: ParameterGrid,
+    parameter: str,
+    pairs: Sequence[DatasetPair],
+    baseline: Mapping[str, object] | None = None,
+) -> SensitivityResult:
+    """Vary one parameter of *grid* ceteris paribus and measure recall spread.
+
+    Parameters
+    ----------
+    grid:
+        The parameter grid of the method.
+    parameter:
+        Name of the parameter to vary (must be in the grid and take at least
+        two values for the result to be meaningful).
+    pairs:
+        Dataset pairs to evaluate on (the paper uses the ChEMBL pairs).
+    baseline:
+        Fixed values for the *other* grid parameters; defaults to the middle
+        value of each.
+    """
+    if parameter not in grid.grid:
+        raise KeyError(f"parameter {parameter!r} is not part of the {grid.method} grid")
+    values = grid.grid[parameter]
+    fixed: dict[str, object] = dict(grid.fixed)
+    for name, options in grid.grid.items():
+        if name == parameter:
+            continue
+        if baseline and name in baseline:
+            fixed[name] = baseline[name]
+        else:
+            fixed[name] = options[len(options) // 2]
+
+    per_pair_std: dict[str, float] = {}
+    for pair in pairs:
+        recalls = []
+        for value in values:
+            params = dict(fixed)
+            params[parameter] = value
+            matcher = grid.factory(**params)
+            record = run_single_experiment(matcher, pair, method_name=grid.method, parameters=params)
+            recalls.append(record.recall_at_ground_truth)
+        per_pair_std[pair.name] = statistics.pstdev(recalls) if len(recalls) > 1 else 0.0
+
+    stds = list(per_pair_std.values())
+    return SensitivityResult(
+        method=grid.method,
+        parameter=parameter,
+        min_std=min(stds) if stds else 0.0,
+        median_std=statistics.median(stds) if stds else 0.0,
+        max_std=max(stds) if stds else 0.0,
+        per_pair_std=per_pair_std,
+    )
+
+
+def sensitivity_table(
+    grids: Mapping[str, ParameterGrid],
+    pairs: Sequence[DatasetPair],
+    min_values: int = 3,
+) -> list[SensitivityResult]:
+    """Reproduce Table III: sensitivity of every grid parameter with ≥ *min_values* values.
+
+    The paper only includes parameters taking at least three different values.
+    """
+    results = []
+    for grid in grids.values():
+        for parameter, values in grid.grid.items():
+            if len(values) < min_values:
+                continue
+            results.append(parameter_sensitivity(grid, parameter, pairs))
+    return results

@@ -1,0 +1,46 @@
+"""Dataset-pair fabrication: splits, noise, scenarios and the fabricator."""
+
+from repro.fabrication.fabricator import FabricationConfig, Fabricator
+from repro.fabrication.noise import (
+    abbreviate_column_name,
+    add_instance_noise,
+    add_schema_noise,
+    drop_vowels,
+    prefix_column_name,
+    typo,
+)
+from repro.fabrication.pairs import DatasetPair, NoiseVariant, Scenario
+from repro.fabrication.scenarios import (
+    fabricate_joinable,
+    fabricate_semantically_joinable,
+    fabricate_unionable,
+    fabricate_view_unionable,
+)
+from repro.fabrication.splitting import (
+    HorizontalSplit,
+    VerticalSplit,
+    split_horizontal,
+    split_vertical,
+)
+
+__all__ = [
+    "DatasetPair",
+    "NoiseVariant",
+    "Scenario",
+    "Fabricator",
+    "FabricationConfig",
+    "fabricate_unionable",
+    "fabricate_view_unionable",
+    "fabricate_joinable",
+    "fabricate_semantically_joinable",
+    "split_horizontal",
+    "split_vertical",
+    "HorizontalSplit",
+    "VerticalSplit",
+    "typo",
+    "add_instance_noise",
+    "add_schema_noise",
+    "prefix_column_name",
+    "abbreviate_column_name",
+    "drop_vowels",
+]

@@ -1,0 +1,234 @@
+"""Scenario-specific dataset-pair fabrication (Section III + Figure 3).
+
+Each function fabricates one :class:`~repro.fabrication.pairs.DatasetPair`
+from a seed table for one relatedness scenario, one noise variant and one
+overlap setting:
+
+* **Unionable** — horizontal split with row overlap in {0%, 50%, 100%};
+  every schema/instance noise combination.
+* **View-unionable** — vertical split (column overlap in {30%, 50%, 70%})
+  followed by a horizontal split with zero row overlap; every noise
+  combination.
+* **Joinable** — vertical split (column overlap in {1 column, 30%, 50%, 70%}),
+  optionally combined with a horizontal split at 50% row overlap; verbatim
+  instances only (noise may affect the schema).
+* **Semantically joinable** — as joinable but with noisy instances.
+
+Ground truth is derived from the seed table: corresponding columns of the two
+splits match (modulo the renaming introduced by schema noise).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.data.table import Table
+from repro.fabrication.noise import add_instance_noise, add_schema_noise
+from repro.fabrication.pairs import DatasetPair, NoiseVariant, Scenario
+from repro.fabrication.splitting import split_horizontal, split_vertical
+
+__all__ = [
+    "fabricate_unionable",
+    "fabricate_view_unionable",
+    "fabricate_joinable",
+    "fabricate_semantically_joinable",
+]
+
+
+def _apply_noise(
+    target: Table,
+    variant: NoiseVariant,
+    rng: random.Random,
+    instance_noise_rate: float,
+) -> tuple[Table, dict[str, str]]:
+    """Apply the requested noise to the *target* side of a fabricated pair.
+
+    The paper perturbs one of the two tables; the source keeps the original
+    schema/instances so the ground truth stays anchored to the seed.
+    Returns the noisy table and the column-rename mapping (identity when the
+    schema is verbatim).
+    """
+    mapping = {name: name for name in target.column_names}
+    result = target
+    if variant.noisy_instances:
+        result = add_instance_noise(result, rng, noise_rate=instance_noise_rate)
+    if variant.noisy_schema:
+        result, mapping = add_schema_noise(result, rng)
+    return result, mapping
+
+
+def _ground_truth(shared_columns: Sequence[str], rename_mapping: dict[str, str]) -> list[tuple[str, str]]:
+    """Ground truth pairs: seed column name ↔ (possibly renamed) target column."""
+    return [(name, rename_mapping.get(name, name)) for name in shared_columns]
+
+
+def fabricate_unionable(
+    seed: Table,
+    variant: NoiseVariant,
+    row_overlap: float,
+    rng: random.Random,
+    instance_noise_rate: float = 0.5,
+    name: str | None = None,
+) -> DatasetPair:
+    """Fabricate a unionable pair by horizontal splitting (Figure 3, left)."""
+    split = split_horizontal(seed, row_overlap, rng)
+    target, mapping = _apply_noise(split.second, variant, rng, instance_noise_rate)
+    pair_name = name or f"{seed.name}_unionable_{variant.name.lower()}_{int(row_overlap * 100)}"
+    pair = DatasetPair(
+        name=pair_name,
+        source=split.first,
+        target=target.rename(f"{seed.name}_right"),
+        ground_truth=_ground_truth(split.first.column_names, mapping),
+        scenario=Scenario.UNIONABLE,
+        variant=variant,
+        metadata={"row_overlap": row_overlap, "seed_table": seed.name},
+    )
+    pair.validate()
+    return pair
+
+
+def fabricate_view_unionable(
+    seed: Table,
+    variant: NoiseVariant,
+    column_overlap: float,
+    rng: random.Random,
+    instance_noise_rate: float = 0.5,
+    name: str | None = None,
+) -> DatasetPair:
+    """Fabricate a view-unionable pair: vertical + horizontal split, no row overlap."""
+    vertical = split_vertical(seed, column_overlap, rng)
+    horizontal_first = split_horizontal(vertical.first, 0.0, rng)
+    horizontal_second = split_horizontal(vertical.second, 0.0, rng)
+    source = horizontal_first.first.rename(f"{seed.name}_view_a")
+    target_raw = horizontal_second.second.rename(f"{seed.name}_view_b")
+    target, mapping = _apply_noise(target_raw, variant, rng, instance_noise_rate)
+    shared = [c for c in vertical.shared_columns]
+    pair_name = name or (
+        f"{seed.name}_viewunionable_{variant.name.lower()}_{int(column_overlap * 100)}"
+    )
+    pair = DatasetPair(
+        name=pair_name,
+        source=source,
+        target=target,
+        ground_truth=_ground_truth(shared, mapping),
+        scenario=Scenario.VIEW_UNIONABLE,
+        variant=variant,
+        metadata={
+            "column_overlap": column_overlap,
+            "row_overlap": 0.0,
+            "seed_table": seed.name,
+        },
+    )
+    pair.validate()
+    return pair
+
+
+def _fabricate_join_like(
+    seed: Table,
+    variant: NoiseVariant,
+    column_overlap: float | int,
+    rng: random.Random,
+    scenario: Scenario,
+    with_row_split: bool,
+    instance_noise_rate: float,
+    name: str | None,
+) -> DatasetPair:
+    vertical = split_vertical(seed, column_overlap, rng)
+    source = vertical.first
+    target_raw = vertical.second
+    row_overlap = 1.0
+    if with_row_split:
+        row_overlap = 0.5
+        source = split_horizontal(vertical.first, 0.5, rng).first
+        target_raw = split_horizontal(vertical.second, 0.5, rng).second
+    source = source.rename(f"{seed.name}_join_a")
+    target_raw = target_raw.rename(f"{seed.name}_join_b")
+    target, mapping = _apply_noise(target_raw, variant, rng, instance_noise_rate)
+    shared = list(vertical.shared_columns)
+    overlap_label = (
+        str(column_overlap)
+        if isinstance(column_overlap, int) and not isinstance(column_overlap, bool)
+        else f"{int(float(column_overlap) * 100)}pct"
+    )
+    pair_name = name or (
+        f"{seed.name}_{scenario.value}_{variant.name.lower()}_{overlap_label}"
+        + ("_rowsplit" if with_row_split else "")
+    )
+    pair = DatasetPair(
+        name=pair_name,
+        source=source,
+        target=target,
+        ground_truth=_ground_truth(shared, mapping),
+        scenario=scenario,
+        variant=variant,
+        metadata={
+            "column_overlap": column_overlap,
+            "row_overlap": row_overlap,
+            "seed_table": seed.name,
+            "with_row_split": with_row_split,
+        },
+    )
+    pair.validate()
+    return pair
+
+
+def fabricate_joinable(
+    seed: Table,
+    variant: NoiseVariant,
+    column_overlap: float | int,
+    rng: random.Random,
+    with_row_split: bool = False,
+    name: str | None = None,
+) -> DatasetPair:
+    """Fabricate a joinable pair: vertical split, verbatim instances.
+
+    Raises
+    ------
+    ValueError
+        If *variant* requests noisy instances (that is the semantically
+        joinable scenario).
+    """
+    if variant.noisy_instances:
+        raise ValueError("joinable pairs use verbatim instances; use the semantically joinable fabricator")
+    return _fabricate_join_like(
+        seed,
+        variant,
+        column_overlap,
+        rng,
+        scenario=Scenario.JOINABLE,
+        with_row_split=with_row_split,
+        instance_noise_rate=0.0,
+        name=name,
+    )
+
+
+def fabricate_semantically_joinable(
+    seed: Table,
+    variant: NoiseVariant,
+    column_overlap: float | int,
+    rng: random.Random,
+    with_row_split: bool = False,
+    instance_noise_rate: float = 0.5,
+    name: str | None = None,
+) -> DatasetPair:
+    """Fabricate a semantically joinable pair: joinable splits + noisy instances.
+
+    Raises
+    ------
+    ValueError
+        If *variant* requests verbatim instances (that is the plain joinable
+        scenario).
+    """
+    if not variant.noisy_instances:
+        raise ValueError("semantically joinable pairs require noisy instances")
+    return _fabricate_join_like(
+        seed,
+        variant,
+        column_overlap,
+        rng,
+        scenario=Scenario.SEMANTICALLY_JOINABLE,
+        with_row_split=with_row_split,
+        instance_noise_rate=instance_noise_rate,
+        name=name,
+    )

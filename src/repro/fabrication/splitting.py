@@ -1,0 +1,127 @@
+"""Horizontal and vertical table splitting (Section IV, Figure 3).
+
+The fabricator creates matching problems by splitting a seed table:
+
+* **horizontal splits** partition rows (with a configurable overlap
+  percentage) and keep all columns — the basis of unionable pairs;
+* **vertical splits** partition columns (with a configurable overlap) and
+  keep all rows — the basis of joinable pairs;
+* combinations of both produce view-unionable and joinable-with-row-overlap
+  pairs.
+
+All functions are deterministic given a ``random.Random`` instance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.table import Table
+
+__all__ = ["HorizontalSplit", "VerticalSplit", "split_horizontal", "split_vertical"]
+
+
+@dataclass(frozen=True)
+class HorizontalSplit:
+    """Result of a horizontal (row) split."""
+
+    first: Table
+    second: Table
+    overlap_rows: int
+
+
+@dataclass(frozen=True)
+class VerticalSplit:
+    """Result of a vertical (column) split."""
+
+    first: Table
+    second: Table
+    shared_columns: tuple[str, ...]
+
+
+def split_horizontal(
+    table: Table,
+    row_overlap: float,
+    rng: random.Random,
+    first_name: str | None = None,
+    second_name: str | None = None,
+) -> HorizontalSplit:
+    """Split *table* into two row partitions with the given fractional overlap.
+
+    ``row_overlap`` of 0.0 produces disjoint halves; 1.0 produces two copies
+    of the same rows; 0.5 makes half of each partition's rows shared.
+
+    Raises
+    ------
+    ValueError
+        If the table has fewer than 2 rows or the overlap is out of range.
+    """
+    if not 0.0 <= row_overlap <= 1.0:
+        raise ValueError("row_overlap must be in [0, 1]")
+    if table.num_rows < 2:
+        raise ValueError("cannot horizontally split a table with fewer than 2 rows")
+
+    indices = list(range(table.num_rows))
+    rng.shuffle(indices)
+    half = table.num_rows // 2
+    first_own = indices[:half]
+    second_own = indices[half:]
+
+    overlap_first = first_own[: int(round(len(first_own) * row_overlap))]
+    overlap_second = second_own[: int(round(len(second_own) * row_overlap))]
+
+    first_rows = sorted(first_own + overlap_second)
+    second_rows = sorted(second_own + overlap_first)
+
+    first = table.select_rows(first_rows, name=first_name or f"{table.name}_left")
+    second = table.select_rows(second_rows, name=second_name or f"{table.name}_right")
+    return HorizontalSplit(first=first, second=second, overlap_rows=len(overlap_first) + len(overlap_second))
+
+
+def split_vertical(
+    table: Table,
+    column_overlap: float | int,
+    rng: random.Random,
+    first_name: str | None = None,
+    second_name: str | None = None,
+) -> VerticalSplit:
+    """Split *table* into two column partitions sharing some columns.
+
+    Parameters
+    ----------
+    column_overlap:
+        Either a fraction in ``(0, 1]`` of columns shared by both partitions,
+        or an integer absolute number of shared columns (the paper uses
+        "1 column" as the smallest joinable setting).
+
+    The non-shared columns are distributed between the two partitions so that
+    each side also has exclusive attributes.
+    """
+    names = list(table.column_names)
+    if len(names) < 2:
+        raise ValueError("cannot vertically split a table with fewer than 2 columns")
+
+    if isinstance(column_overlap, int) and not isinstance(column_overlap, bool):
+        shared_count = column_overlap
+    else:
+        if not 0.0 < float(column_overlap) <= 1.0:
+            raise ValueError("fractional column_overlap must be in (0, 1]")
+        shared_count = int(round(len(names) * float(column_overlap)))
+    shared_count = max(1, min(shared_count, len(names)))
+
+    shuffled = list(names)
+    rng.shuffle(shuffled)
+    shared = shuffled[:shared_count]
+    rest = shuffled[shared_count:]
+    half = len(rest) // 2
+    first_exclusive = rest[:half]
+    second_exclusive = rest[half:]
+
+    # Preserve the original column order within each partition.
+    first_columns = [n for n in names if n in set(shared) | set(first_exclusive)]
+    second_columns = [n for n in names if n in set(shared) | set(second_exclusive)]
+
+    first = table.project(first_columns, name=first_name or f"{table.name}_a")
+    second = table.project(second_columns, name=second_name or f"{table.name}_b")
+    return VerticalSplit(first=first, second=second, shared_columns=tuple(n for n in names if n in shared))

@@ -1,0 +1,197 @@
+"""Core schema-matching API: matches, ranked results and the matcher base class.
+
+Every method in the suite — Cupid, Similarity Flooding, COMA, the
+distribution-based matcher, SemProp, EmbDI and the Jaccard–Levenshtein
+baseline — implements :class:`BaseMatcher` and returns a :class:`MatchResult`:
+a list of column-pair correspondences *ranked by matching confidence*, which
+is the output format the paper argues dataset discovery needs (Section II-C).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.data.table import ColumnRef, Table
+
+__all__ = ["MatchType", "Match", "MatchResult", "BaseMatcher"]
+
+
+class MatchType(str, Enum):
+    """The matcher categories of Table I of the paper."""
+
+    ATTRIBUTE_OVERLAP = "attribute_overlap"
+    VALUE_OVERLAP = "value_overlap"
+    SEMANTIC_OVERLAP = "semantic_overlap"
+    DATA_TYPE = "data_type"
+    DISTRIBUTION = "distribution"
+    EMBEDDINGS = "embeddings"
+
+
+@dataclass(frozen=True, order=True)
+class Match:
+    """A scored correspondence between a source column and a target column."""
+
+    score: float
+    source: ColumnRef
+    target: ColumnRef
+
+    def as_pair(self) -> tuple[str, str]:
+        """Return ``(source column name, target column name)``."""
+        return (self.source.column, self.target.column)
+
+    def as_refs(self) -> tuple[ColumnRef, ColumnRef]:
+        """Return ``(source ref, target ref)``."""
+        return (self.source, self.target)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.source} ~ {self.target} ({self.score:.3f})"
+
+
+class MatchResult:
+    """An ordered (descending score) list of :class:`Match` objects.
+
+    The class encapsulates the ranking semantics: ties are broken
+    deterministically by column names so that experiments are reproducible.
+    """
+
+    def __init__(self, matches: Iterable[Match] = ()) -> None:
+        self._matches = sorted(
+            matches,
+            key=lambda m: (-m.score, m.source.table, m.source.column, m.target.table, m.target.column),
+        )
+
+    @classmethod
+    def from_scores(
+        cls,
+        scores: Mapping[tuple[ColumnRef, ColumnRef], float],
+        threshold: float = 0.0,
+        keep_zero: bool = False,
+    ) -> "MatchResult":
+        """Build a result from a ``{(source, target): score}`` mapping.
+
+        Pairs scoring at or below *threshold* are dropped unless *keep_zero*
+        is set (some matchers deliberately emit complete rankings).
+        """
+        matches = [
+            Match(score=float(score), source=source, target=target)
+            for (source, target), score in scores.items()
+            if keep_zero or score > threshold
+        ]
+        return cls(matches)
+
+    # ------------------------------------------------------------------ #
+    # sequence behaviour
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._matches)
+
+    def __iter__(self) -> Iterator[Match]:
+        return iter(self._matches)
+
+    def __getitem__(self, index: int) -> Match:
+        return self._matches[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MatchResult(n={len(self)})"
+
+    @property
+    def matches(self) -> list[Match]:
+        """The ranked matches (copy)."""
+        return list(self._matches)
+
+    # ------------------------------------------------------------------ #
+    # derived views
+    # ------------------------------------------------------------------ #
+    def top_k(self, k: int) -> "MatchResult":
+        """The first *k* matches of the ranking."""
+        return MatchResult(self._matches[: max(k, 0)])
+
+    def ranked_pairs(self) -> list[tuple[str, str]]:
+        """Column-name pairs in ranking order."""
+        return [match.as_pair() for match in self._matches]
+
+    def ranked_ref_pairs(self) -> list[tuple[ColumnRef, ColumnRef]]:
+        """Fully qualified ref pairs in ranking order."""
+        return [match.as_refs() for match in self._matches]
+
+    def scores(self) -> dict[tuple[str, str], float]:
+        """``{(source column, target column): score}`` (best score per pair)."""
+        result: dict[tuple[str, str], float] = {}
+        for match in self._matches:
+            pair = match.as_pair()
+            if pair not in result:
+                result[pair] = match.score
+        return result
+
+    def filter_threshold(self, threshold: float) -> "MatchResult":
+        """Matches with ``score >= threshold``."""
+        return MatchResult(m for m in self._matches if m.score >= threshold)
+
+    def one_to_one(self) -> "MatchResult":
+        """Greedy 1-1 filtering of the ranking (each column used at most once)."""
+        used_sources: set[ColumnRef] = set()
+        used_targets: set[ColumnRef] = set()
+        kept: list[Match] = []
+        for match in self._matches:
+            if match.source in used_sources or match.target in used_targets:
+                continue
+            kept.append(match)
+            used_sources.add(match.source)
+            used_targets.add(match.target)
+        return MatchResult(kept)
+
+    def to_records(self) -> list[dict[str, object]]:
+        """Serialise to a list of plain dictionaries (for JSON/CSV export)."""
+        return [
+            {
+                "source_table": match.source.table,
+                "source_column": match.source.column,
+                "target_table": match.target.table,
+                "target_column": match.target.column,
+                "score": match.score,
+            }
+            for match in self._matches
+        ]
+
+
+class BaseMatcher(abc.ABC):
+    """Abstract base class of every schema matching method in the suite.
+
+    Subclasses implement :meth:`get_matches`; class attributes describe the
+    method for the registry and the Table I coverage report.
+    """
+
+    #: Human-readable method name (e.g. ``"Cupid"``).
+    name: str = "base"
+    #: Short code used in the paper's figures (e.g. ``"CU"``).
+    code: str = "??"
+    #: The match types of Table I this method covers.
+    match_types: tuple[MatchType, ...] = ()
+    #: Whether the method reads instance values (affects runtime accounting).
+    uses_instances: bool = False
+    #: Whether the method reads schema-level information.
+    uses_schema: bool = True
+
+    @abc.abstractmethod
+    def get_matches(self, source: Table, target: Table) -> MatchResult:
+        """Compute the ranked matches between *source* and *target* columns."""
+
+    def parameters(self) -> dict[str, object]:
+        """Return the method's current parameter values (for result records).
+
+        The default implementation exposes public, non-callable instance
+        attributes, which matches how the concrete matchers store their
+        configuration.
+        """
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_") and not callable(value)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.parameters().items()))
+        return f"{type(self).__name__}({params})"

@@ -1,0 +1,80 @@
+"""Cupid's linguistic matching phase.
+
+Linguistic matching computes name-based similarity between elements of the
+two schema trees that belong to compatible categories.  Following Madhavan et
+al. (VLDB 2001) the phase has three steps: normalisation (tokenisation,
+abbreviation expansion), categorisation (grouping by data-type category) and
+comparison (thesaurus lookups combined with token-level string similarity).
+
+The paper notes that the original Cupid is not openly available and that the
+Valentine authors used WordNet as thesaurus; here the bundled mini-thesaurus
+(see :mod:`repro.text.thesaurus`) plays that role, and name similarity also
+serves as the data-type compatibility surrogate, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.types import DataType, type_compatibility
+from repro.matchers.cupid.schema_tree import SchemaElement
+from repro.text.distance import jaro_winkler_similarity, monge_elkan
+from repro.text.thesaurus import Thesaurus, default_thesaurus
+from repro.text.tokenize import tokenize_identifier
+
+__all__ = ["name_similarity", "linguistic_similarity", "category_compatibility"]
+
+
+def name_similarity(
+    name_a: str,
+    name_b: str,
+    thesaurus: Thesaurus | None = None,
+) -> float:
+    """Token-level name similarity combining thesaurus and string evidence.
+
+    For every token pair the score is the maximum of the thesaurus relation
+    score and the Jaro–Winkler string similarity; token scores are combined
+    with a Monge–Elkan style averaging in both directions.
+    """
+    thesaurus = thesaurus or default_thesaurus()
+    tokens_a = tokenize_identifier(name_a)
+    tokens_b = tokenize_identifier(name_b)
+    if not tokens_a or not tokens_b:
+        return 0.0
+
+    def token_score(token_a: str, token_b: str) -> float:
+        lexical = thesaurus.relation_score(token_a, token_b)
+        string = jaro_winkler_similarity(token_a, token_b)
+        return max(lexical, string)
+
+    forward = monge_elkan(tokens_a, tokens_b, inner=token_score)
+    backward = monge_elkan(tokens_b, tokens_a, inner=token_score)
+    return (forward + backward) / 2.0
+
+
+def category_compatibility(element_a: SchemaElement, element_b: SchemaElement) -> float:
+    """Compatibility of two elements' categories in [0, 1].
+
+    Inner nodes compare by category equality; leaves compare through the
+    data-type compatibility table.
+    """
+    if element_a.is_leaf and element_b.is_leaf:
+        type_a = element_a.data_type or DataType.UNKNOWN
+        type_b = element_b.data_type or DataType.UNKNOWN
+        return type_compatibility(type_a, type_b)
+    return 1.0 if element_a.category == element_b.category else 0.5
+
+
+def linguistic_similarity(
+    element_a: SchemaElement,
+    element_b: SchemaElement,
+    thesaurus: Thesaurus | None = None,
+) -> float:
+    """Linguistic similarity of two schema elements.
+
+    The product of name similarity and category compatibility, as in Cupid's
+    ``lsim = cat_compatibility * name_similarity``.
+    """
+    return category_compatibility(element_a, element_b) * name_similarity(
+        element_a.name, element_b.name, thesaurus=thesaurus
+    )

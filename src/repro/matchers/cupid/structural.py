@@ -1,0 +1,138 @@
+"""Cupid's structural matching phase (TreeMatch).
+
+Structural similarity of two elements reflects how similar their *contexts*
+are: for leaves, the similarity of their ancestors; for inner nodes, the
+fraction of strongly linked leaves in their subtrees.  The implementation
+follows the TreeMatch post-order sweep of the Cupid paper, simplified to the
+shallow trees produced by tabular schemata:
+
+1. leaves are initialised with ``ssim = data-type compatibility`` and
+   ``wsim = w_struct * ssim + (1 - w_struct) * lsim``;
+2. inner nodes get ``ssim`` equal to the fraction of leaf pairs in their
+   subtrees whose weighted similarity exceeds ``th_accept``;
+3. after computing an inner node's similarity, the leaves of strongly similar
+   subtrees are boosted (``c_inc``) and those of dissimilar ones are
+   penalised (``c_dec``), as in the original algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.data.types import DataType, type_compatibility
+from repro.matchers.cupid.linguistic import linguistic_similarity
+from repro.matchers.cupid.schema_tree import SchemaElement, SchemaTree
+from repro.text.thesaurus import Thesaurus
+
+__all__ = ["CupidWeights", "tree_match"]
+
+ElementPair = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CupidWeights:
+    """Weights and thresholds of the TreeMatch computation.
+
+    Attributes
+    ----------
+    w_struct:
+        Weight of structural similarity for inner nodes.
+    leaf_w_struct:
+        Weight of structural similarity for leaves.
+    th_accept:
+        Similarity threshold above which a leaf pair is considered strongly
+        linked.
+    th_high / th_low:
+        Thresholds steering the increase/decrease adjustment of leaf
+        similarities after an inner node is processed.
+    c_inc / c_dec:
+        Multiplicative factors applied during adjustment.
+    """
+
+    w_struct: float = 0.2
+    leaf_w_struct: float = 0.2
+    th_accept: float = 0.7
+    th_high: float = 0.6
+    th_low: float = 0.35
+    c_inc: float = 1.2
+    c_dec: float = 0.9
+
+
+def tree_match(
+    tree_a: SchemaTree,
+    tree_b: SchemaTree,
+    weights: CupidWeights | None = None,
+    thesaurus: Thesaurus | None = None,
+) -> dict[tuple[str, str], float]:
+    """Run TreeMatch and return weighted similarities for leaf (column) pairs.
+
+    Returns
+    -------
+    dict
+        ``{(leaf name in A, leaf name in B): weighted similarity}``.
+    """
+    weights = weights or CupidWeights()
+    leaves_a = tree_a.leaves()
+    leaves_b = tree_b.leaves()
+
+    lsim: dict[tuple[int, int], float] = {}
+    wsim: dict[tuple[int, int], float] = {}
+
+    # Step 1: leaf-level linguistic + data-type similarity.
+    for i, leaf_a in enumerate(leaves_a):
+        for j, leaf_b in enumerate(leaves_b):
+            linguistic = linguistic_similarity(leaf_a, leaf_b, thesaurus=thesaurus)
+            type_a = leaf_a.data_type or DataType.UNKNOWN
+            type_b = leaf_b.data_type or DataType.UNKNOWN
+            structural = type_compatibility(type_a, type_b)
+            lsim[(i, j)] = linguistic
+            wsim[(i, j)] = (
+                weights.leaf_w_struct * structural
+                + (1.0 - weights.leaf_w_struct) * linguistic
+            )
+
+    # Step 2: inner-node structural similarity (single table node per side for
+    # tabular data, but the computation is generic over subtrees).
+    inner_a = [e for e in tree_a.elements() if not e.is_leaf]
+    inner_b = [e for e in tree_b.elements() if not e.is_leaf]
+    index_a = {id(leaf): i for i, leaf in enumerate(leaves_a)}
+    index_b = {id(leaf): j for j, leaf in enumerate(leaves_b)}
+
+    for node_a in reversed(inner_a):
+        for node_b in reversed(inner_b):
+            sub_a = [index_a[id(leaf)] for leaf in node_a.leaves()]
+            sub_b = [index_b[id(leaf)] for leaf in node_b.leaves()]
+            if not sub_a or not sub_b:
+                continue
+            strong = sum(
+                1
+                for i in sub_a
+                for j in sub_b
+                if wsim[(i, j)] > weights.th_accept
+            )
+            total = len(sub_a) * len(sub_b)
+            ssim = strong / total if total else 0.0
+            node_linguistic = linguistic_similarity(node_a, node_b, thesaurus=thesaurus)
+            node_wsim = weights.w_struct * ssim + (1.0 - weights.w_struct) * node_linguistic
+
+            # Step 3: adjust leaf similarities of this subtree pair.
+            if node_wsim > weights.th_high:
+                factor = weights.c_inc
+            elif node_wsim < weights.th_low:
+                factor = weights.c_dec
+            else:
+                factor = 1.0
+            if factor != 1.0:
+                for i in sub_a:
+                    for j in sub_b:
+                        structural_component = min(1.0, wsim[(i, j)] * factor)
+                        wsim[(i, j)] = (
+                            weights.leaf_w_struct * structural_component
+                            + (1.0 - weights.leaf_w_struct) * lsim[(i, j)]
+                        )
+
+    return {
+        (leaves_a[i].name, leaves_b[j].name): score
+        for (i, j), score in wsim.items()
+    }

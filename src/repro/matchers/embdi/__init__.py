@@ -1,0 +1,7 @@
+"""EmbDI matcher package."""
+
+from repro.matchers.embdi.graph import DataGraph, build_data_graph, cid_token
+from repro.matchers.embdi.matcher import EmbDIMatcher
+from repro.matchers.embdi.walks import WalkConfig, generate_walks
+
+__all__ = ["EmbDIMatcher", "DataGraph", "build_data_graph", "cid_token", "WalkConfig", "generate_walks"]

@@ -1,0 +1,135 @@
+"""Ensemble matcher: rank aggregation over multiple matching methods.
+
+The paper's first "lesson learned" (Section IX) is that no single method wins
+everywhere and that "composing state-of-the-art matching methods ... should
+be the preferred way in dataset discovery pipelines".  This module provides
+that composition as a first-class matcher: an :class:`EnsembleMatcher` runs
+several base matchers and aggregates their rankings.
+
+Three aggregation strategies are provided:
+
+* ``"score_average"`` — per pair, the (optionally weighted) mean of the base
+  matchers' scores (each base ranking is min-max normalised first so methods
+  with different score scales combine fairly);
+* ``"score_max"`` — per pair, the best normalised score any base matcher
+  assigns;
+* ``"borda"`` — classic Borda-count rank aggregation over the base rankings.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.data.table import ColumnRef, Table
+from repro.matchers.base import BaseMatcher, MatchResult, MatchType
+from repro.matchers.registry import register_matcher
+
+__all__ = ["EnsembleMatcher"]
+
+PairKey = tuple[ColumnRef, ColumnRef]
+
+
+def _normalised_scores(result: MatchResult) -> dict[PairKey, float]:
+    """Min-max normalise a ranking's scores into [0, 1] (constant → 1.0)."""
+    pairs = result.ranked_ref_pairs()
+    if not pairs:
+        return {}
+    scores = [match.score for match in result]
+    low, high = min(scores), max(scores)
+    if high == low:
+        return {pair: 1.0 for pair in pairs}
+    normalised: dict[PairKey, float] = {}
+    for match in result:
+        key = (match.source, match.target)
+        value = (match.score - low) / (high - low)
+        normalised[key] = max(normalised.get(key, 0.0), value)
+    return normalised
+
+
+def _borda_points(result: MatchResult) -> dict[PairKey, float]:
+    """Borda points: the best rank gets n-1 points, the worst gets 0."""
+    pairs = result.ranked_ref_pairs()
+    total = len(pairs)
+    points: dict[PairKey, float] = {}
+    for position, pair in enumerate(pairs):
+        points.setdefault(pair, float(total - 1 - position))
+    return points
+
+
+class EnsembleMatcher(BaseMatcher):
+    """Combine several base matchers into one ranked output.
+
+    Parameters
+    ----------
+    matchers:
+        The base matching methods (at least one).
+    aggregation:
+        ``"score_average"``, ``"score_max"`` or ``"borda"``.
+    weights:
+        Optional per-matcher weights (keyed by matcher name) for the
+        ``"score_average"`` strategy.
+    """
+
+    name = "Ensemble"
+    code = "ENS"
+    match_types = tuple(MatchType)
+    uses_instances = True
+    uses_schema = True
+
+    def __init__(
+        self,
+        matchers: Sequence[BaseMatcher],
+        aggregation: str = "score_average",
+        weights: Mapping[str, float] | None = None,
+    ) -> None:
+        if not matchers:
+            raise ValueError("an ensemble needs at least one base matcher")
+        if aggregation not in ("score_average", "score_max", "borda"):
+            raise ValueError(f"unknown aggregation {aggregation!r}")
+        self.aggregation = aggregation
+        self.weights = dict(weights or {})
+        self._matchers = list(matchers)
+
+    @property
+    def base_matchers(self) -> list[BaseMatcher]:
+        """The wrapped base matchers."""
+        return list(self._matchers)
+
+    def parameters(self) -> dict[str, object]:
+        """Ensemble configuration plus the names of the base matchers."""
+        return {
+            "aggregation": self.aggregation,
+            "weights": dict(self.weights),
+            "base_matchers": [matcher.name for matcher in self._matchers],
+        }
+
+    def get_matches(self, source: Table, target: Table) -> MatchResult:
+        """Run every base matcher and aggregate their rankings."""
+        base_results = [(matcher, matcher.get_matches(source, target)) for matcher in self._matchers]
+
+        combined: dict[PairKey, float] = {}
+        if self.aggregation == "borda":
+            for _, result in base_results:
+                for pair, points in _borda_points(result).items():
+                    combined[pair] = combined.get(pair, 0.0) + points
+            maximum = max(combined.values(), default=0.0)
+            if maximum > 0:
+                combined = {pair: value / maximum for pair, value in combined.items()}
+        else:
+            totals: dict[PairKey, float] = {}
+            weight_sums: dict[PairKey, float] = {}
+            for matcher, result in base_results:
+                weight = self.weights.get(matcher.name, 1.0)
+                for pair, score in _normalised_scores(result).items():
+                    if self.aggregation == "score_max":
+                        totals[pair] = max(totals.get(pair, 0.0), score)
+                        weight_sums[pair] = 1.0
+                    else:
+                        totals[pair] = totals.get(pair, 0.0) + weight * score
+                        weight_sums[pair] = weight_sums.get(pair, 0.0) + weight
+            combined = {
+                pair: totals[pair] / weight_sums[pair] if weight_sums[pair] else 0.0
+                for pair in totals
+            }
+
+        return MatchResult.from_scores(combined, keep_zero=True)

@@ -1,0 +1,6 @@
+"""SemProp matcher package."""
+
+from repro.matchers.semprop.matcher import SemPropMatcher
+from repro.matchers.semprop.semantic import SemanticLink, coherence_score, link_to_ontology
+
+__all__ = ["SemPropMatcher", "SemanticLink", "coherence_score", "link_to_ontology"]

@@ -1,0 +1,5 @@
+"""Similarity Flooding matcher package."""
+
+from repro.matchers.similarity_flooding.matcher import SimilarityFloodingMatcher
+
+__all__ = ["SimilarityFloodingMatcher"]

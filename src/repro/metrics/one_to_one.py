@@ -1,0 +1,52 @@
+"""Classic 1-1 matching metrics (precision, recall, F1).
+
+The paper argues these are ill-suited to dataset discovery (which needs
+ranked outputs) and excludes them from its evaluation; they are provided here
+for completeness, for the ablation benchmarks that contrast the two
+evaluation styles, and for users who want a traditional matcher evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["OneToOneScores", "precision_recall_f1"]
+
+Pair = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class OneToOneScores:
+    """Precision / recall / F1 of a predicted match set."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+
+def precision_recall_f1(predicted: Iterable[Pair], ground_truth: Iterable[Pair]) -> OneToOneScores:
+    """Compute set-based precision, recall and F1 of predicted matches."""
+    predicted_set = {(str(a), str(b)) for a, b in predicted}
+    truth_set = {(str(a), str(b)) for a, b in ground_truth}
+    true_positives = len(predicted_set & truth_set)
+    false_positives = len(predicted_set - truth_set)
+    false_negatives = len(truth_set - predicted_set)
+    precision = true_positives / len(predicted_set) if predicted_set else 0.0
+    recall = true_positives / len(truth_set) if truth_set else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall) > 0
+        else 0.0
+    )
+    return OneToOneScores(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+    )

@@ -1,0 +1,141 @@
+"""A small ontology model (classes, labels, hierarchy).
+
+SemProp links attribute and table names to classes of a domain-specific
+ontology (the paper uses EFO for ChEMBL) through embedding similarity, and
+then relates schema elements transitively through the ontology.  This module
+provides the ontology data structure: named classes with labels/synonyms and
+an IS-A hierarchy, plus traversal helpers (ancestors, descendants, semantic
+distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+__all__ = ["OntologyClass", "Ontology"]
+
+
+@dataclass
+class OntologyClass:
+    """A class of the ontology.
+
+    Attributes
+    ----------
+    name:
+        Unique class identifier.
+    labels:
+        Human-readable labels and synonyms for the class.
+    parents:
+        Names of direct superclasses.
+    """
+
+    name: str
+    labels: tuple[str, ...] = ()
+    parents: tuple[str, ...] = ()
+
+
+class Ontology:
+    """A named collection of classes with an IS-A hierarchy."""
+
+    def __init__(self, name: str, classes: Iterable[OntologyClass] = ()) -> None:
+        self.name = name
+        self._classes: dict[str, OntologyClass] = {}
+        for cls in classes:
+            self.add_class(cls)
+
+    def add_class(self, ontology_class: OntologyClass) -> None:
+        """Register a class (replacing any class with the same name)."""
+        self._classes[ontology_class.name] = ontology_class
+
+    def __contains__(self, class_name: str) -> bool:
+        return class_name in self._classes
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __iter__(self) -> Iterator[OntologyClass]:
+        return iter(self._classes.values())
+
+    @property
+    def class_names(self) -> list[str]:
+        """All class names."""
+        return list(self._classes)
+
+    def get(self, class_name: str) -> Optional[OntologyClass]:
+        """Return the class called *class_name*, or ``None``."""
+        return self._classes.get(class_name)
+
+    def labels_of(self, class_name: str) -> list[str]:
+        """Return the labels of a class (including its name)."""
+        cls = self._classes.get(class_name)
+        if cls is None:
+            return []
+        return [cls.name, *cls.labels]
+
+    def parents_of(self, class_name: str) -> list[str]:
+        """Direct superclasses of *class_name*."""
+        cls = self._classes.get(class_name)
+        return list(cls.parents) if cls else []
+
+    def ancestors_of(self, class_name: str) -> set[str]:
+        """All (transitive) superclasses of *class_name*."""
+        ancestors: set[str] = set()
+        frontier = list(self.parents_of(class_name))
+        while frontier:
+            parent = frontier.pop()
+            if parent in ancestors:
+                continue
+            ancestors.add(parent)
+            frontier.extend(self.parents_of(parent))
+        return ancestors
+
+    def descendants_of(self, class_name: str) -> set[str]:
+        """All (transitive) subclasses of *class_name*."""
+        children_of: dict[str, list[str]] = {}
+        for cls in self._classes.values():
+            for parent in cls.parents:
+                children_of.setdefault(parent, []).append(cls.name)
+        descendants: set[str] = set()
+        frontier = list(children_of.get(class_name, ()))
+        while frontier:
+            child = frontier.pop()
+            if child in descendants:
+                continue
+            descendants.add(child)
+            frontier.extend(children_of.get(child, ()))
+        return descendants
+
+    def related(self, class_a: str, class_b: str) -> bool:
+        """True when the two classes are equal or connected through IS-A."""
+        if class_a == class_b:
+            return True
+        return (
+            class_b in self.ancestors_of(class_a)
+            or class_a in self.ancestors_of(class_b)
+            or bool(self.ancestors_of(class_a) & self.ancestors_of(class_b))
+        )
+
+    def semantic_distance(self, class_a: str, class_b: str) -> int:
+        """Shortest IS-A path length between the classes (-1 when unrelated)."""
+        if class_a == class_b:
+            return 0
+        # Breadth-first search over the undirected IS-A graph.
+        neighbours: dict[str, set[str]] = {name: set() for name in self._classes}
+        for cls in self._classes.values():
+            for parent in cls.parents:
+                neighbours.setdefault(cls.name, set()).add(parent)
+                neighbours.setdefault(parent, set()).add(cls.name)
+        if class_a not in neighbours or class_b not in neighbours:
+            return -1
+        visited = {class_a}
+        frontier = [(class_a, 0)]
+        while frontier:
+            node, depth = frontier.pop(0)
+            for neighbour in neighbours.get(node, ()):
+                if neighbour == class_b:
+                    return depth + 1
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    frontier.append((neighbour, depth + 1))
+        return -1

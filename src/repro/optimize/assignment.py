@@ -1,0 +1,123 @@
+"""Assignment helpers for turning similarity matrices into 1-1 matchings.
+
+Valentine compares methods on ranked match lists, but several matchers (and
+the classic 1-1 evaluation included for completeness) need a maximum-weight
+bipartite assignment or a stable-marriage style filter over a similarity
+matrix.  ``scipy.optimize.linear_sum_assignment`` does the heavy lifting; the
+helpers here adapt it to sparse, name-keyed similarity dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+__all__ = ["max_weight_assignment", "greedy_assignment", "stable_marriage"]
+
+Pair = tuple[Hashable, Hashable]
+
+
+def max_weight_assignment(
+    similarities: Mapping[Pair, float],
+    threshold: float = 0.0,
+) -> dict[Pair, float]:
+    """Maximum-weight 1-1 assignment over a sparse similarity mapping.
+
+    Parameters
+    ----------
+    similarities:
+        Mapping ``(source, target) -> similarity``.
+    threshold:
+        Pairs assigned with a similarity at or below this value are dropped.
+    """
+    if not similarities:
+        return {}
+    sources = sorted({pair[0] for pair in similarities}, key=str)
+    targets = sorted({pair[1] for pair in similarities}, key=str)
+    source_index = {item: i for i, item in enumerate(sources)}
+    target_index = {item: i for i, item in enumerate(targets)}
+    matrix = np.zeros((len(sources), len(targets)))
+    for (source, target), score in similarities.items():
+        matrix[source_index[source], target_index[target]] = score
+    row_ind, col_ind = linear_sum_assignment(-matrix)
+    result: dict[Pair, float] = {}
+    for row, col in zip(row_ind, col_ind):
+        score = float(matrix[row, col])
+        if score > threshold:
+            result[(sources[row], targets[col])] = score
+    return result
+
+
+def greedy_assignment(
+    similarities: Mapping[Pair, float],
+    threshold: float = 0.0,
+) -> dict[Pair, float]:
+    """Greedy 1-1 assignment: repeatedly pick the highest unmatched pair."""
+    chosen: dict[Pair, float] = {}
+    used_sources: set[Hashable] = set()
+    used_targets: set[Hashable] = set()
+    ordered = sorted(similarities.items(), key=lambda item: (-item[1], str(item[0])))
+    for (source, target), score in ordered:
+        if score <= threshold:
+            break
+        if source in used_sources or target in used_targets:
+            continue
+        chosen[(source, target)] = score
+        used_sources.add(source)
+        used_targets.add(target)
+    return chosen
+
+
+def stable_marriage(
+    similarities: Mapping[Pair, float],
+    sources: Sequence[Hashable] | None = None,
+    targets: Sequence[Hashable] | None = None,
+) -> dict[Pair, float]:
+    """Stable-marriage matching where both sides rank partners by similarity.
+
+    Used as COMA-style "both directions" selection: a pair survives only if
+    neither endpoint would rather be matched to someone who also prefers it.
+    """
+    if not similarities:
+        return {}
+    if sources is None:
+        sources = sorted({pair[0] for pair in similarities}, key=str)
+    if targets is None:
+        targets = sorted({pair[1] for pair in similarities}, key=str)
+
+    def preference(side_items, key_fn):
+        prefs = {}
+        for item in side_items:
+            ranked = sorted(
+                (pair for pair in similarities if key_fn(pair) == item),
+                key=lambda pair: (-similarities[pair], str(pair)),
+            )
+            prefs[item] = ranked
+        return prefs
+
+    source_prefs = preference(sources, lambda pair: pair[0])
+    engaged_target: dict[Hashable, Pair] = {}
+    free_sources = [s for s in sources if source_prefs[s]]
+    next_choice = {s: 0 for s in sources}
+
+    while free_sources:
+        source = free_sources.pop(0)
+        prefs = source_prefs[source]
+        while next_choice[source] < len(prefs):
+            pair = prefs[next_choice[source]]
+            next_choice[source] += 1
+            target = pair[1]
+            current = engaged_target.get(target)
+            if current is None:
+                engaged_target[target] = pair
+                break
+            if similarities[pair] > similarities[current]:
+                engaged_target[target] = pair
+                displaced = current[0]
+                if next_choice[displaced] < len(source_prefs[displaced]):
+                    free_sources.append(displaced)
+                break
+        # else: source remains unmatched
+    return {pair: similarities[pair] for pair in engaged_target.values()}

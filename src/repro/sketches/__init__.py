@@ -1,0 +1,5 @@
+"""Sketching substrate: MinHash signatures for set-overlap estimation."""
+
+from repro.sketches.minhash import MinHashSignature, estimate_jaccard, minhash_signature
+
+__all__ = ["MinHashSignature", "minhash_signature", "estimate_jaccard"]

@@ -1,0 +1,98 @@
+"""MinHash signatures for set-overlap estimation.
+
+SemProp's syntactic matcher (and several of the dataset discovery systems the
+paper surveys, e.g. Aurum and LSH Ensemble) estimate value-set overlap with
+MinHash sketches instead of exact set intersection.  This module provides a
+deterministic MinHash implementation with Jaccard and containment estimators.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["MinHashSignature", "minhash_signature", "estimate_jaccard"]
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_MAX_HASH = (1 << 32) - 1
+
+
+def _stable_hash(value: str) -> int:
+    """Deterministic 32-bit hash of a string (independent of PYTHONHASHSEED)."""
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") & _MAX_HASH
+
+
+@dataclass(frozen=True)
+class MinHashSignature:
+    """A MinHash signature of a value set."""
+
+    values: tuple[int, ...]
+    set_size: int
+
+    @property
+    def num_permutations(self) -> int:
+        return len(self.values)
+
+    def jaccard(self, other: "MinHashSignature") -> float:
+        """Estimated Jaccard similarity with another signature."""
+        if self.num_permutations != other.num_permutations:
+            raise ValueError("signatures must use the same number of permutations")
+        if self.num_permutations == 0:
+            return 0.0
+        equal = sum(1 for a, b in zip(self.values, other.values) if a == b)
+        return equal / self.num_permutations
+
+    def containment(self, other: "MinHashSignature") -> float:
+        """Estimated containment of this set in *other* (|A∩B| / |A|)."""
+        jaccard = self.jaccard(other)
+        if self.set_size == 0:
+            return 0.0
+        union_estimate = (self.set_size + other.set_size) / (1.0 + jaccard) if jaccard >= 0 else 0
+        intersection_estimate = jaccard * union_estimate
+        return min(1.0, intersection_estimate / self.set_size)
+
+
+def _permutation_parameters(num_permutations: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    a = rng.integers(1, _MERSENNE_PRIME, size=num_permutations, dtype=np.int64)
+    b = rng.integers(0, _MERSENNE_PRIME, size=num_permutations, dtype=np.int64)
+    return a, b
+
+
+def minhash_signature(
+    values: Iterable[object],
+    num_permutations: int = 128,
+    seed: int = 7,
+) -> MinHashSignature:
+    """Compute the MinHash signature of a collection of values.
+
+    Values are rendered as lowercase strings before hashing; the signature is
+    empty (all max) for an empty input set.
+    """
+    if num_permutations <= 0:
+        raise ValueError("num_permutations must be positive")
+    distinct = {str(v).strip().lower() for v in values}
+    a, b = _permutation_parameters(num_permutations, seed)
+    if not distinct:
+        return MinHashSignature(tuple([_MAX_HASH] * num_permutations), 0)
+    hashes = np.array([_stable_hash(value) for value in distinct], dtype=np.int64)
+    # (a * h + b) mod p, truncated to 32 bits — vectorised across permutations.
+    products = (np.outer(hashes, a) + b) % _MERSENNE_PRIME
+    signature = (products & _MAX_HASH).min(axis=0)
+    return MinHashSignature(tuple(int(x) for x in signature), len(distinct))
+
+
+def estimate_jaccard(
+    values_a: Iterable[object],
+    values_b: Iterable[object],
+    num_permutations: int = 128,
+    seed: int = 7,
+) -> float:
+    """Convenience: estimated Jaccard similarity of two raw value collections."""
+    signature_a = minhash_signature(values_a, num_permutations=num_permutations, seed=seed)
+    signature_b = minhash_signature(values_b, num_permutations=num_permutations, seed=seed)
+    return signature_a.jaccard(signature_b)

@@ -1,0 +1,197 @@
+"""Core string similarity and edit-distance measures.
+
+These measures are used throughout the suite: the Jaccard–Levenshtein
+baseline matcher, Cupid's linguistic matching, Similarity Flooding's initial
+string similarities and COMA's name matchers all build on them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+__all__ = [
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "normalized_levenshtein",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "jaccard_similarity",
+    "dice_coefficient",
+    "overlap_coefficient",
+    "containment",
+    "longest_common_substring",
+    "prefix_similarity",
+    "monge_elkan",
+]
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Edit distance between *a* and *b* (insert/delete/substitute, unit cost).
+
+    Implemented with the classic two-row dynamic program, O(|a|*|b|) time and
+    O(min(|a|,|b|)) space.
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Similarity in [0, 1] derived from the Levenshtein distance."""
+    return normalized_levenshtein(a, b)
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """``1 - distance / max(len)`` — 1.0 for identical strings, 0.0 for disjoint."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity in [0, 1]."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    match_window = max(len(a), len(b)) // 2 - 1
+    match_window = max(match_window, 0)
+    a_matched = [False] * len(a)
+    b_matched = [False] * len(b)
+    matches = 0
+    for i, char_a in enumerate(a):
+        start = max(0, i - match_window)
+        stop = min(i + match_window + 1, len(b))
+        for j in range(start, stop):
+            if b_matched[j] or b[j] != char_a:
+                continue
+            a_matched[i] = True
+            b_matched[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, char_a in enumerate(a):
+        if not a_matched[i]:
+            continue
+        while not b_matched[j]:
+            j += 1
+        if char_a != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro–Winkler similarity: Jaro boosted by a shared prefix of up to 4 chars."""
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a[:4], b[:4]):
+        if char_a != char_b:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+def jaccard_similarity(a: Iterable, b: Iterable) -> float:
+    """Jaccard similarity of two value collections (treated as sets)."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    intersection = len(set_a & set_b)
+    union = len(set_a | set_b)
+    return intersection / union
+
+
+def dice_coefficient(a: Iterable, b: Iterable) -> float:
+    """Sørensen–Dice coefficient of two value collections."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return 2.0 * len(set_a & set_b) / (len(set_a) + len(set_b))
+
+
+def overlap_coefficient(a: Iterable, b: Iterable) -> float:
+    """Overlap (Szymkiewicz–Simpson) coefficient: intersection over smaller set."""
+    set_a, set_b = set(a), set(b)
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / min(len(set_a), len(set_b))
+
+
+def containment(a: Iterable, b: Iterable) -> float:
+    """Containment of *a* in *b*: |a ∩ b| / |a|."""
+    set_a, set_b = set(a), set(b)
+    if not set_a:
+        return 0.0
+    return len(set_a & set_b) / len(set_a)
+
+
+def longest_common_substring(a: str, b: str) -> int:
+    """Length of the longest common contiguous substring of *a* and *b*."""
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    best = 0
+    for char_a in a:
+        current = [0] * (len(b) + 1)
+        for j, char_b in enumerate(b, start=1):
+            if char_a == char_b:
+                current[j] = previous[j - 1] + 1
+                best = max(best, current[j])
+        previous = current
+    return best
+
+
+def prefix_similarity(a: str, b: str) -> float:
+    """Length of the common prefix divided by the shorter string length."""
+    if not a or not b:
+        return 0.0
+    shared = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != char_b:
+            break
+        shared += 1
+    return shared / min(len(a), len(b))
+
+
+def monge_elkan(
+    tokens_a: Sequence[str],
+    tokens_b: Sequence[str],
+    inner=jaro_winkler_similarity,
+) -> float:
+    """Monge–Elkan similarity between two token sequences.
+
+    For every token of *tokens_a* the best inner similarity against
+    *tokens_b* is taken; the result is the mean of those maxima.
+    """
+    if not tokens_a or not tokens_b:
+        return 0.0
+    total = 0.0
+    for token_a in tokens_a:
+        total += max(inner(token_a, token_b) for token_b in tokens_b)
+    return total / len(tokens_a)

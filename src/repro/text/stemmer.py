@@ -1,0 +1,132 @@
+"""A compact Porter-style stemmer.
+
+Cupid's linguistic matcher and the bundled thesaurus normalise word tokens to
+stems before lookup, so that ``"addresses"`` matches ``"address"`` and
+``"pricing"`` matches ``"price"`` (approximately).  The implementation follows
+the classic Porter algorithm steps 1a/1b/1c plus a small suffix table; it is
+intentionally lighter than a full Porter implementation but deterministic and
+adequate for attribute-name vocabulary.
+"""
+
+from __future__ import annotations
+
+__all__ = ["stem"]
+
+_VOWELS = set("aeiou")
+
+
+def _is_consonant(word: str, index: int) -> bool:
+    char = word[index]
+    if char in _VOWELS:
+        return False
+    if char == "y":
+        return index == 0 or not _is_consonant(word, index - 1)
+    return True
+
+
+def _measure(word: str) -> int:
+    """The Porter "measure": number of vowel→consonant transitions."""
+    pattern = []
+    for i in range(len(word)):
+        is_cons = _is_consonant(word, i)
+        if not pattern or pattern[-1] != is_cons:
+            pattern.append(is_cons)
+    # pattern like [C, V, C, V, ...]; count VC pairs
+    measure = 0
+    for i in range(len(pattern) - 1):
+        if pattern[i] is False and pattern[i + 1] is True:
+            measure += 1
+    return measure
+
+
+def _contains_vowel(word: str) -> bool:
+    return any(not _is_consonant(word, i) for i in range(len(word)))
+
+
+def stem(word: str) -> str:
+    """Return the stem of *word* (lowercased)."""
+    word = str(word).lower()
+    if len(word) <= 2:
+        return word
+
+    # Step 1a: plurals
+    if word.endswith("sses"):
+        word = word[:-2]
+    elif word.endswith("ies"):
+        word = word[:-2]
+    elif word.endswith("ss"):
+        pass
+    elif word.endswith("s"):
+        word = word[:-1]
+
+    # Step 1b: -ed / -ing
+    if word.endswith("eed"):
+        if _measure(word[:-3]) > 0:
+            word = word[:-1]
+    elif word.endswith("ed") and _contains_vowel(word[:-2]):
+        word = word[:-2]
+        word = _post_1b(word)
+    elif word.endswith("ing") and _contains_vowel(word[:-3]):
+        word = word[:-3]
+        word = _post_1b(word)
+
+    # Step 1c: terminal y -> i
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        word = word[:-1] + "i"
+
+    # Small derivational suffix table (subset of Porter steps 2-4)
+    for suffix, replacement, min_measure in (
+        ("ational", "ate", 0),
+        ("ization", "ize", 0),
+        ("fulness", "ful", 0),
+        ("ousness", "ous", 0),
+        ("iveness", "ive", 0),
+        ("tional", "tion", 0),
+        ("biliti", "ble", 0),
+        ("entli", "ent", 0),
+        ("ation", "ate", 0),
+        ("alism", "al", 0),
+        ("aliti", "al", 0),
+        ("iviti", "ive", 0),
+        ("ement", "", 1),
+        ("ment", "", 1),
+        ("ness", "", 0),
+        ("tion", "t", 1),
+        ("ence", "", 1),
+        ("ance", "", 1),
+        ("able", "", 1),
+        ("ible", "", 1),
+    ):
+        if word.endswith(suffix) and _measure(word[: -len(suffix)]) >= min_measure:
+            word = word[: -len(suffix)] + replacement
+            break
+
+    return word
+
+
+def _post_1b(word: str) -> str:
+    """Cleanup after removing -ed / -ing, per Porter step 1b."""
+    if word.endswith(("at", "bl", "iz")):
+        return word + "e"
+    if (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+        and word[-1] not in "lsz"
+    ):
+        return word[:-1]
+    if _measure(word) == 1 and _ends_cvc(word):
+        return word + "e"
+    return word
+
+
+def _ends_cvc(word: str) -> bool:
+    if len(word) < 3:
+        return False
+    last = len(word) - 1
+    return (
+        _is_consonant(word, last)
+        and not _is_consonant(word, last - 1)
+        and _is_consonant(word, last - 2)
+        and word[last] not in "wxy"
+    )

@@ -1,0 +1,209 @@
+"""Bundled mini-thesaurus: the offline substitute for WordNet.
+
+The paper's Cupid implementation uses WordNet as a thesaurus for linguistic
+matching.  No network access or NLTK corpora are available in this
+reproduction, so we bundle a compact synonym/hypernym lexicon that covers the
+vocabulary appearing in the synthetic dataset generators (customers, clients,
+addresses, products, chemistry assay terms, SCRUM/IT terms, music/artist
+terms).  The lexicon is intentionally small; anything it misses falls back to
+string similarity in the matchers, exactly as Cupid does for out-of-thesaurus
+terms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.text.stemmer import stem
+
+__all__ = ["Thesaurus", "default_thesaurus"]
+
+# Groups of mutual synonyms.  Order inside a group is irrelevant.
+_SYNONYM_GROUPS: tuple[tuple[str, ...], ...] = (
+    ("client", "customer", "patron", "buyer", "purchaser", "account holder"),
+    ("person", "individual", "people", "human"),
+    ("name", "title", "label", "designation"),
+    ("firstname", "forename", "given name"),
+    ("lastname", "surname", "family name"),
+    ("address", "location", "residence", "street"),
+    ("city", "town", "municipality"),
+    ("country", "nation", "state", "land"),
+    ("postalcode", "zipcode", "zip", "postcode"),
+    ("phone", "telephone", "mobile", "cell"),
+    ("email", "mail", "electronic mail"),
+    ("birthdate", "birthday", "dateofbirth", "dob"),
+    ("salary", "wage", "income", "pay", "earnings"),
+    ("employee", "worker", "staff", "personnel"),
+    ("employer", "company", "firm", "organization", "corporation", "enterprise", "business"),
+    ("department", "division", "unit", "section"),
+    ("manager", "supervisor", "head", "lead", "boss", "owner"),
+    ("product", "item", "article", "goods"),
+    ("price", "cost", "amount", "charge", "fee"),
+    ("quantity", "count", "number", "amount"),
+    ("date", "day", "time"),
+    ("year", "yr"),
+    ("identifier", "id", "key", "code", "reference"),
+    ("description", "summary", "detail", "comment", "note", "text"),
+    ("category", "type", "kind", "class", "group"),
+    ("value", "measurement", "measure", "result", "reading"),
+    ("gender", "sex"),
+    ("spouse", "partner", "husband", "wife"),
+    ("parent", "father", "mother"),
+    ("child", "kid", "offspring"),
+    ("song", "track", "tune", "recording"),
+    ("album", "record", "release"),
+    ("artist", "singer", "musician", "performer"),
+    ("genre", "style", "category"),
+    ("assay", "experiment", "test", "trial"),
+    ("compound", "chemical", "molecule", "substance"),
+    ("target", "protein", "receptor"),
+    ("organism", "species"),
+    ("cell", "cellline"),
+    ("dose", "dosage", "concentration"),
+    ("journal", "publication", "source"),
+    ("sprint", "iteration", "cycle"),
+    ("task", "ticket", "issue", "story", "workitem"),
+    ("team", "squad", "group", "crew"),
+    ("application", "app", "software", "system", "program"),
+    ("server", "host", "machine", "hardware"),
+    ("status", "state", "condition"),
+    ("region", "area", "zone", "territory"),
+    ("revenue", "income", "turnover", "sales"),
+    ("balance", "amount", "total"),
+    ("agency", "office", "bureau"),
+    ("vehicle", "car", "automobile"),
+    ("movie", "film", "picture"),
+    ("actor", "performer", "cast"),
+    ("director", "filmmaker"),
+    ("rating", "score", "grade"),
+    ("university", "college", "school", "institute"),
+    ("hospital", "clinic", "medicalcenter"),
+)
+
+# (specific, general) hypernym pairs — specific IS-A general.
+_HYPERNYM_PAIRS: tuple[tuple[str, str], ...] = (
+    ("customer", "person"),
+    ("client", "person"),
+    ("employee", "person"),
+    ("manager", "employee"),
+    ("singer", "artist"),
+    ("artist", "person"),
+    ("actor", "person"),
+    ("director", "person"),
+    ("city", "location"),
+    ("country", "location"),
+    ("region", "location"),
+    ("address", "location"),
+    ("street", "address"),
+    ("zipcode", "address"),
+    ("salary", "amount"),
+    ("price", "amount"),
+    ("revenue", "amount"),
+    ("balance", "amount"),
+    ("compound", "substance"),
+    ("protein", "substance"),
+    ("assay", "experiment"),
+    ("sprint", "interval"),
+    ("task", "workitem"),
+    ("application", "system"),
+    ("server", "system"),
+    ("song", "work"),
+    ("album", "work"),
+    ("movie", "work"),
+    ("firstname", "name"),
+    ("lastname", "name"),
+    ("surname", "name"),
+    ("birthdate", "date"),
+    ("year", "date"),
+)
+
+
+class Thesaurus:
+    """A small synonym/hypernym lexicon with stem-normalised lookups.
+
+    Parameters
+    ----------
+    synonym_groups:
+        Iterable of groups of mutually synonymous terms.
+    hypernym_pairs:
+        Iterable of ``(specific, general)`` pairs.
+    """
+
+    def __init__(
+        self,
+        synonym_groups: Iterable[tuple[str, ...]] = (),
+        hypernym_pairs: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        self._synonyms: dict[str, set[str]] = {}
+        self._hypernyms: dict[str, set[str]] = {}
+        for group in synonym_groups:
+            self.add_synonym_group(group)
+        for specific, general in hypernym_pairs:
+            self.add_hypernym(specific, general)
+
+    @staticmethod
+    def _key(term: str) -> str:
+        return stem(str(term).strip().lower().replace(" ", ""))
+
+    def add_synonym_group(self, terms: Iterable[str]) -> None:
+        """Register a group of mutually synonymous terms."""
+        keys = {self._key(term) for term in terms if term}
+        for key in keys:
+            self._synonyms.setdefault(key, set()).update(keys)
+
+    def add_hypernym(self, specific: str, general: str) -> None:
+        """Register ``specific IS-A general``."""
+        self._hypernyms.setdefault(self._key(specific), set()).add(self._key(general))
+
+    def synonyms(self, term: str) -> set[str]:
+        """Return the synonym keys of *term* (including itself if known)."""
+        return set(self._synonyms.get(self._key(term), set()))
+
+    def are_synonyms(self, a: str, b: str) -> bool:
+        """True when *a* and *b* share a synonym group (or have equal stems)."""
+        key_a, key_b = self._key(a), self._key(b)
+        if key_a == key_b:
+            return True
+        return key_b in self._synonyms.get(key_a, set())
+
+    def are_hypernyms(self, a: str, b: str) -> bool:
+        """True when one of the terms is a registered hypernym of the other."""
+        key_a, key_b = self._key(a), self._key(b)
+        return key_b in self._hypernyms.get(key_a, set()) or key_a in self._hypernyms.get(
+            key_b, set()
+        )
+
+    def relation_score(self, a: str, b: str) -> float:
+        """Score the lexical relation of two terms.
+
+        Following Cupid's linguistic-matching conventions: identical stems or
+        synonyms score 1.0, hypernym/hyponym pairs score 0.8, shared synonym
+        neighbourhood (both synonyms of a common term) scores 0.6, otherwise
+        0.0 (the caller is expected to fall back to string similarity).
+        """
+        if self.are_synonyms(a, b):
+            return 1.0
+        if self.are_hypernyms(a, b):
+            return 0.8
+        common = self.synonyms(a) & self.synonyms(b)
+        if common:
+            return 0.6
+        return 0.0
+
+    def __contains__(self, term: str) -> bool:
+        key = self._key(term)
+        return key in self._synonyms or key in self._hypernyms
+
+    def __len__(self) -> int:
+        return len(self._synonyms)
+
+
+_DEFAULT: Optional[Thesaurus] = None
+
+
+def default_thesaurus() -> Thesaurus:
+    """Return the shared bundled thesaurus instance (lazily constructed)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Thesaurus(_SYNONYM_GROUPS, _HYPERNYM_PAIRS)
+    return _DEFAULT

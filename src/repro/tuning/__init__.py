@@ -1,0 +1,5 @@
+"""Automatic (eTuner-style) parameter tuning for matching methods."""
+
+from repro.tuning.auto_tune import AutoTuner, TuningOutcome
+
+__all__ = ["AutoTuner", "TuningOutcome"]

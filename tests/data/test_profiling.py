@@ -1,0 +1,47 @@
+"""Tests for column profiling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.profiling import profile_column, profile_table
+from repro.data.table import Column, Table
+from repro.data.types import DataType
+
+
+class TestProfileColumn:
+    def test_numeric_summary(self):
+        profile = profile_column(Column("x", [1, 2, 3, 4]))
+        assert profile.mean == pytest.approx(2.5)
+        assert profile.minimum == 1
+        assert profile.maximum == 4
+        assert profile.std == pytest.approx(1.118, abs=1e-3)
+
+    def test_text_column_has_no_numeric_summary(self):
+        profile = profile_column(Column("x", ["a", "bb", "ccc"]))
+        assert profile.mean is None
+        assert profile.avg_length == pytest.approx(2.0)
+
+    def test_missing_and_distinct_counts(self):
+        profile = profile_column(Column("x", ["a", "a", None, "b"]))
+        assert profile.missing_count == 1
+        assert profile.distinct_count == 2
+        assert profile.row_count == 4
+
+    def test_uniqueness_and_completeness(self):
+        profile = profile_column(Column("x", ["a", "b", "b", None]))
+        assert profile.uniqueness == pytest.approx(2 / 3)
+        assert profile.completeness == pytest.approx(0.75)
+
+    def test_empty_column(self):
+        profile = profile_column(Column("x", []))
+        assert profile.row_count == 0
+        assert profile.uniqueness == 0.0
+        assert profile.completeness == 0.0
+
+
+class TestProfileTable:
+    def test_profiles_every_column(self, clients_table):
+        profiles = profile_table(clients_table)
+        assert set(profiles) == set(clients_table.column_names)
+        assert profiles["PO"].data_type is DataType.INTEGER

@@ -1,0 +1,151 @@
+"""Tests for data type inference and coercion."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.data.types import (
+    DataType,
+    coerce_value,
+    infer_column_type,
+    infer_value_type,
+    is_missing,
+    profile_types,
+    type_compatibility,
+)
+
+
+class TestIsMissing:
+    def test_none_is_missing(self):
+        assert is_missing(None)
+
+    def test_nan_is_missing(self):
+        assert is_missing(float("nan"))
+
+    def test_empty_string_is_missing(self):
+        assert is_missing("")
+        assert is_missing("   ")
+
+    @pytest.mark.parametrize("token", ["NA", "n/a", "NULL", "none", "-", "?"])
+    def test_conventional_tokens_are_missing(self, token):
+        assert is_missing(token)
+
+    @pytest.mark.parametrize("value", [0, 0.0, "0", "value", False, "NAB"])
+    def test_real_values_are_not_missing(self, value):
+        assert not is_missing(value)
+
+
+class TestInferValueType:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (5, DataType.INTEGER),
+            ("42", DataType.INTEGER),
+            ("-17", DataType.INTEGER),
+            (3.14, DataType.FLOAT),
+            ("2.5e3", DataType.FLOAT),
+            ("hello", DataType.STRING),
+            ("2020-05-17", DataType.DATE),
+            ("17/05/2020", DataType.DATE),
+            ("true", DataType.BOOLEAN),
+            (True, DataType.BOOLEAN),
+            (None, DataType.UNKNOWN),
+        ],
+    )
+    def test_single_values(self, value, expected):
+        assert infer_value_type(value) is expected
+
+    def test_string_with_digits_and_letters_is_string(self):
+        assert infer_value_type("AB1234") is DataType.STRING
+
+
+class TestInferColumnType:
+    def test_all_integers(self):
+        assert infer_column_type([1, 2, 3, "4"]) is DataType.INTEGER
+
+    def test_integers_and_floats_promote_to_float(self):
+        assert infer_column_type([1, 2.5, 3]) is DataType.FLOAT
+
+    def test_mixed_numeric_and_text_is_string(self):
+        assert infer_column_type([1, "abc", 3]) is DataType.STRING
+
+    def test_empty_column_is_unknown(self):
+        assert infer_column_type([]) is DataType.UNKNOWN
+        assert infer_column_type([None, None]) is DataType.UNKNOWN
+
+    def test_boolean_column(self):
+        assert infer_column_type(["yes", "no", "yes"]) is DataType.BOOLEAN
+
+    def test_date_column(self):
+        assert infer_column_type(["2001-01-01", "1999-12-31"]) is DataType.DATE
+
+    def test_missing_values_are_ignored(self):
+        assert infer_column_type([None, 5, "", 7]) is DataType.INTEGER
+
+    def test_sample_limit_bounds_inspection(self):
+        values = [1] * 10 + ["text"] * 10
+        assert infer_column_type(values, sample_limit=5) is DataType.INTEGER
+
+
+class TestTypeCompatibility:
+    def test_identical_types_fully_compatible(self):
+        for data_type in DataType:
+            assert type_compatibility(data_type, data_type) == 1.0
+
+    def test_integer_float_highly_compatible(self):
+        assert type_compatibility(DataType.INTEGER, DataType.FLOAT) == pytest.approx(0.9)
+
+    def test_symmetry(self):
+        for a in DataType:
+            for b in DataType:
+                assert type_compatibility(a, b) == type_compatibility(b, a)
+
+    def test_scores_within_unit_interval(self):
+        for a in DataType:
+            for b in DataType:
+                assert 0.0 <= type_compatibility(a, b) <= 1.0
+
+
+class TestCoerceValue:
+    def test_coerce_to_integer(self):
+        assert coerce_value("42", DataType.INTEGER) == 42
+
+    def test_coerce_float_string_to_integer(self):
+        assert coerce_value("42.0", DataType.INTEGER) == 42
+
+    def test_coerce_to_float(self):
+        assert coerce_value("3.5", DataType.FLOAT) == pytest.approx(3.5)
+
+    def test_coerce_to_boolean(self):
+        assert coerce_value("yes", DataType.BOOLEAN) is True
+        assert coerce_value("f", DataType.BOOLEAN) is False
+
+    def test_missing_becomes_none(self):
+        assert coerce_value("NA", DataType.INTEGER) is None
+
+    def test_uncoercible_value_unchanged(self):
+        assert coerce_value("abc", DataType.INTEGER) == "abc"
+
+    def test_string_coercion_strips_whitespace(self):
+        assert coerce_value("  hi ", DataType.STRING) == "hi"
+
+
+class TestProfileTypes:
+    def test_counts_and_missing(self):
+        profile = profile_types([1, 2, None, "x", ""])
+        assert profile.missing == 2
+        assert profile.total == 5
+        assert profile.counts["integer"] == 2
+        assert profile.counts["string"] == 1
+        assert profile.dominant is DataType.STRING
+
+    def test_missing_ratio(self):
+        profile = profile_types([None, None, 1, 2])
+        assert profile.missing_ratio == pytest.approx(0.5)
+
+    def test_empty_profile(self):
+        profile = profile_types([])
+        assert profile.total == 0
+        assert profile.missing_ratio == 0.0

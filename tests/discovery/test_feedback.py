@@ -1,0 +1,86 @@
+"""Tests for the human-in-the-loop feedback session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.table import ColumnRef
+from repro.discovery.feedback import FeedbackDecision, FeedbackSession
+from repro.matchers.base import Match, MatchResult
+
+
+def _ranking() -> MatchResult:
+    pairs = [
+        ("customer_name", "client", 0.6),
+        ("customer_city", "town", 0.55),
+        ("order_total", "client", 0.7),
+        ("order_total", "amount", 0.5),
+        ("customer_name", "amount", 0.2),
+    ]
+    return MatchResult(
+        Match(score, ColumnRef("s", source), ColumnRef("t", target)) for source, target, score in pairs
+    )
+
+
+class TestFeedbackSession:
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            FeedbackSession(_ranking(), feedback_weight=1.5)
+
+    def test_accept_pins_pair_to_top(self):
+        session = FeedbackSession(_ranking())
+        session.accept("customer_name", "client")
+        reranked = session.reranked()
+        assert reranked.ranked_pairs()[0] == ("customer_name", "client")
+        assert reranked[0].score == 1.0
+
+    def test_reject_pins_pair_to_bottom(self):
+        session = FeedbackSession(_ranking())
+        session.reject("order_total", "client")
+        reranked = session.reranked()
+        assert reranked.ranked_pairs()[-1] == ("order_total", "client")
+        assert reranked[-1].score == 0.0
+
+    def test_feedback_generalises_to_similar_pairs(self):
+        session = FeedbackSession(_ranking(), feedback_weight=0.5)
+        # Confirm that 'customer_name' matches 'client'; the similar pair
+        # (customer_city, town)... should not drop, while the dissimilar
+        # (order_total, client) loses its advantage once rejected.
+        session.accept("customer_name", "client")
+        session.reject("order_total", "client")
+        reranked = session.reranked()
+        pairs = reranked.ranked_pairs()
+        assert pairs.index(("customer_name", "client")) == 0
+        assert pairs.index(("order_total", "client")) == len(pairs) - 1
+
+    def test_record_batch_and_properties(self):
+        session = FeedbackSession(_ranking())
+        session.record(
+            [
+                FeedbackDecision("customer_name", "client", True),
+                FeedbackDecision("customer_name", "amount", False),
+            ]
+        )
+        assert ("customer_name", "client") in session.accepted_pairs
+        assert ("customer_name", "amount") in session.rejected_pairs
+        assert len(session.decisions) == 2
+
+    def test_next_candidates_excludes_decided_pairs(self):
+        session = FeedbackSession(_ranking())
+        session.accept("order_total", "client")
+        candidates = session.next_candidates(k=3)
+        assert all(match.as_pair() != ("order_total", "client") for match in candidates)
+        assert len(candidates) == 3
+
+    def test_no_feedback_keeps_original_scores(self):
+        original = _ranking()
+        session = FeedbackSession(original)
+        reranked = session.reranked()
+        assert reranked.ranked_pairs() == original.ranked_pairs()
+        assert [m.score for m in reranked] == [m.score for m in original]
+
+    def test_scores_stay_in_unit_interval(self):
+        session = FeedbackSession(_ranking(), feedback_weight=1.0)
+        session.accept("customer_name", "client")
+        session.reject("customer_name", "amount")
+        assert all(0.0 <= match.score <= 1.0 for match in session.reranked())

@@ -1,0 +1,64 @@
+"""Tests for table-level relatedness scores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.table import ColumnRef, Table
+from repro.discovery.relatedness import RelatednessScores, joinability, relatedness, unionability
+from repro.matchers.base import Match, MatchResult
+
+
+def _result(scored_pairs: list[tuple[str, str, float]]) -> MatchResult:
+    return MatchResult(
+        Match(score, ColumnRef("q", source), ColumnRef("c", target))
+        for source, target, score in scored_pairs
+    )
+
+
+@pytest.fixture
+def query_table() -> Table:
+    return Table("q", {"a": [1], "b": [2], "c": [3], "d": [4]})
+
+
+class TestJoinability:
+    def test_uses_best_pair(self):
+        result = _result([("a", "x", 0.9), ("b", "y", 0.2)])
+        assert joinability(result) == 0.9
+
+    def test_empty_result(self):
+        assert joinability(MatchResult()) == 0.0
+
+
+class TestUnionability:
+    def test_counts_strong_one_to_one_partners(self, query_table):
+        result = _result([("a", "x", 0.9), ("b", "y", 0.8), ("c", "z", 0.2), ("d", "w", 0.1)])
+        assert unionability(result, query_table, threshold=0.5) == pytest.approx(0.5)
+
+    def test_respects_one_to_one_constraint(self, query_table):
+        # Both query columns point at the same target; only one can count.
+        result = _result([("a", "x", 0.9), ("b", "x", 0.9)])
+        assert unionability(result, query_table, threshold=0.5) == pytest.approx(0.25)
+
+    def test_empty_query(self):
+        empty = Table("empty", {})
+        assert unionability(_result([("a", "x", 1.0)]), empty) == 0.0
+
+    def test_score_bounded_by_one(self, query_table):
+        result = _result([(name, name + "_t", 1.0) for name in query_table.column_names])
+        assert unionability(result, query_table) == 1.0
+
+
+class TestRelatedness:
+    def test_bundle(self, query_table):
+        scores = relatedness(_result([("a", "x", 0.7), ("b", "y", 0.6)]), query_table, threshold=0.5)
+        assert isinstance(scores, RelatednessScores)
+        assert scores.joinability == 0.7
+        assert scores.best_pair == ("a", "x")
+        assert scores.unionability == pytest.approx(0.5)
+
+    def test_combined_weighting(self):
+        scores = RelatednessScores(joinability=1.0, unionability=0.0, best_pair=None)
+        assert scores.combined(join_weight=1.0) == 1.0
+        assert scores.combined(join_weight=0.0) == 0.0
+        assert scores.combined() == 0.5

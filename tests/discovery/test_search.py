@@ -1,0 +1,94 @@
+"""Tests for the repository / discovery engine layer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import open_data_table, tpcdi_prospect_table
+from repro.discovery.search import DatasetRepository, DiscoveryEngine, DiscoveryResult
+from repro.fabrication.splitting import split_horizontal, split_vertical
+from repro.matchers import ComaSchemaMatcher
+
+
+@pytest.fixture(scope="module")
+def lake():
+    rng = random.Random(5)
+    prospects = tpcdi_prospect_table(num_rows=80)
+    vertical = split_vertical(prospects, 0.3, rng)
+    horizontal = split_horizontal(prospects, 0.0, rng)
+    repository = DatasetRepository(
+        [
+            vertical.second.rename("prospect_slice"),
+            horizontal.second.rename("prospect_more_rows"),
+            open_data_table(num_rows=80).rename("contracts"),
+        ]
+    )
+    query = horizontal.first.rename("query_prospects")
+    return query, repository
+
+
+class TestDatasetRepository:
+    def test_add_get_remove(self):
+        table = tpcdi_prospect_table(num_rows=10)
+        repository = DatasetRepository()
+        repository.add(table)
+        assert len(repository) == 1
+        assert table.name in repository
+        assert repository.get(table.name) is table
+        repository.remove(table.name)
+        assert len(repository) == 0
+        repository.remove("not-there")  # no error
+
+    def test_iteration_and_names(self, lake):
+        _, repository = lake
+        assert set(repository.table_names) == {t.name for t in repository}
+
+
+class TestDiscoveryEngine:
+    def test_unionable_candidate_ranked_first(self, lake):
+        query, repository = lake
+        engine = DiscoveryEngine(matcher=ComaSchemaMatcher())
+        ranking = engine.discover(query, repository, mode="unionable")
+        assert ranking[0].table_name == "prospect_more_rows"
+        assert ranking[0].unionability >= ranking[-1].unionability
+
+    def test_joinable_mode_prefers_related_tables(self, lake):
+        query, repository = lake
+        engine = DiscoveryEngine(matcher=ComaSchemaMatcher())
+        ranking = engine.discover(query, repository, mode="joinable")
+        related = {"prospect_more_rows", "prospect_slice"}
+        assert ranking[0].table_name in related
+        assert ranking[-1].table_name == "contracts"
+
+    def test_combined_mode_and_top_k(self, lake):
+        query, repository = lake
+        engine = DiscoveryEngine(matcher=ComaSchemaMatcher())
+        ranking = engine.discover(query, repository, mode="combined", top_k=2)
+        assert len(ranking) == 2
+        assert all(isinstance(result, DiscoveryResult) for result in ranking)
+
+    def test_invalid_mode_rejected(self, lake):
+        query, repository = lake
+        engine = DiscoveryEngine(matcher=ComaSchemaMatcher())
+        with pytest.raises(ValueError):
+            engine.discover(query, repository, mode="bogus")
+
+    def test_query_table_excluded_from_candidates(self, lake):
+        query, repository = lake
+        repository.add(query)
+        try:
+            engine = DiscoveryEngine(matcher=ComaSchemaMatcher())
+            ranking = engine.discover(query, repository)
+            assert all(result.table_name != query.name for result in ranking)
+        finally:
+            repository.remove(query.name)
+
+    def test_score_pair_returns_matches(self, lake):
+        query, repository = lake
+        engine = DiscoveryEngine(matcher=ComaSchemaMatcher())
+        result = engine.score_pair(query, repository.get("prospect_slice"))
+        assert len(result.matches) > 0
+        assert 0.0 <= result.joinability <= 1.0
+        assert 0.0 <= result.unionability <= 1.0

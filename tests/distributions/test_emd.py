@@ -1,0 +1,88 @@
+"""Tests for Earth Mover's Distance computations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions.emd import (
+    column_emd,
+    emd_1d,
+    emd_general,
+    histogram_emd,
+    intersection_emd,
+)
+from repro.distributions.histograms import build_histogram_pair
+
+
+class TestEmd1d:
+    def test_identical_distributions_zero(self):
+        assert emd_1d([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_fully_shifted_mass(self):
+        # All mass moves one bucket: EMD = 1 bucket.
+        assert emd_1d([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_mass_moved_two_buckets(self):
+        assert emd_1d([1.0, 0.0, 0.0], [0.0, 0.0, 1.0]) == pytest.approx(2.0)
+
+    def test_normalisation_of_unnormalised_inputs(self):
+        assert emd_1d([2.0, 0.0], [0.0, 4.0]) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            emd_1d([1.0], [0.5, 0.5])
+
+    def test_symmetry(self):
+        a = [0.2, 0.3, 0.5]
+        b = [0.5, 0.3, 0.2]
+        assert emd_1d(a, b) == pytest.approx(emd_1d(b, a))
+
+
+class TestEmdGeneral:
+    def test_agrees_with_1d_closed_form(self):
+        a = [0.1, 0.4, 0.5]
+        b = [0.5, 0.2, 0.3]
+        positions = np.arange(3, dtype=float)
+        ground = np.abs(positions[:, None] - positions[None, :])
+        assert emd_general(a, b, ground) == pytest.approx(emd_1d(a, b), abs=1e-6)
+
+    def test_zero_for_identical(self):
+        ground = np.zeros((2, 2))
+        assert emd_general([0.5, 0.5], [0.5, 0.5], ground) == pytest.approx(0.0)
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            emd_general([1.0], [1.0], np.zeros((2, 2)))
+
+
+class TestColumnEmd:
+    def test_identical_columns_zero(self):
+        values = list(range(50))
+        assert column_emd(values, list(values)) == pytest.approx(0.0)
+
+    def test_disjoint_ranges_far_apart(self):
+        low = list(range(50))
+        high = [v + 1000 for v in low]
+        assert column_emd(low, high, num_buckets=10) > 4.0
+
+    def test_histogram_emd_bucket_mismatch(self):
+        hist_a, _ = build_histogram_pair([1, 2], [1, 2], num_buckets=4)
+        _, hist_b = build_histogram_pair([1, 2], [1, 2], num_buckets=8)
+        with pytest.raises(ValueError):
+            histogram_emd(hist_a, hist_b)
+
+
+class TestIntersectionEmd:
+    def test_no_overlap_is_maximal(self):
+        assert intersection_emd(["a", "b"], ["c", "d"], num_buckets=10) == 10.0
+
+    def test_identical_sets_near_zero(self):
+        values = [str(i) for i in range(30)]
+        assert intersection_emd(values, list(values), num_buckets=10) == pytest.approx(0.0, abs=1e-9)
+
+    def test_partial_overlap_between_extremes(self):
+        a = [str(i) for i in range(40)]
+        b = [str(i) for i in range(20, 60)]
+        score = intersection_emd(a, b, num_buckets=10)
+        assert 0.0 < score < 10.0

@@ -1,0 +1,99 @@
+"""Tests for the plain-text table/figure rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.efficiency import RuntimeMeasurement
+from repro.experiments.parameters import default_parameter_grids
+from repro.experiments.reports import (
+    format_table,
+    render_boxplot_figure,
+    render_coverage_table,
+    render_parameter_grids,
+    render_recall_table,
+    render_runtime_table,
+    render_sensitivity_table,
+)
+from repro.experiments.results import ExperimentRecord, ResultSet
+from repro.experiments.sensitivity import SensitivityResult
+
+
+def _record(method, scenario, recall):
+    return ExperimentRecord(
+        method=method,
+        matcher_code="XX",
+        pair_name="p",
+        scenario=scenario,
+        variant=None,
+        dataset_source="tpcdi",
+        parameters={},
+        recall_at_ground_truth=recall,
+        runtime_seconds=0.1,
+        ground_truth_size=3,
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        text = format_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "bbbb" in lines[3]
+
+    def test_headers_only(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestRenderers:
+    def test_coverage_table_lists_all_methods(self):
+        text = render_coverage_table()
+        for method in ("Cupid", "SimilarityFlooding", "ComaSchema", "EmbDI", "SemProp"):
+            assert method in text
+
+    def test_parameter_grid_rendering(self):
+        text = render_parameter_grids(default_parameter_grids(fast=True))
+        assert "Cupid" in text
+        assert "th_accept" in text
+
+    def test_sensitivity_rendering(self):
+        rows = [SensitivityResult("Cupid", "th_accept", 0.0, 0.05, 0.5, {})]
+        text = render_sensitivity_table(rows)
+        assert "th_accept" in text
+        assert "0.50" in text
+
+    def test_boxplot_rendering(self):
+        results = ResultSet([
+            _record("A", "unionable", 0.1),
+            _record("A", "unionable", 0.9),
+            _record("B", "joinable", 1.0),
+        ])
+        text = render_boxplot_figure(results, title="Figure X")
+        assert "Figure X" in text
+        assert "unionable" in text and "joinable" in text
+        assert "0.50" in text  # median of A on unionable
+
+    def test_boxplot_respects_method_filter(self):
+        results = ResultSet([_record("A", "unionable", 0.5), _record("B", "unionable", 0.5)])
+        text = render_boxplot_figure(results, title="T", methods=["A"])
+        assert "B" not in text.splitlines()[-1]
+
+    def test_recall_table(self):
+        by_dataset = {
+            "magellan": ResultSet([_record("A", "unionable", 1.0)]),
+            "ing_1": ResultSet([_record("A", "joinable", 0.7)]),
+        }
+        text = render_recall_table(by_dataset, title="Table IV")
+        assert "Table IV" in text
+        assert "1.000" in text and "0.700" in text
+
+    def test_runtime_table(self):
+        measurements = [
+            RuntimeMeasurement("Fast", 0.01, {}, uses_instances=False),
+            RuntimeMeasurement("Slow", 2.5, {}, uses_instances=True),
+        ]
+        text = render_runtime_table(measurements)
+        assert "Fast" in text and "Slow" in text
+        assert "schema" in text and "instance" in text

@@ -1,0 +1,117 @@
+"""Tests for instance and schema noise injection."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.table import Column, Table
+from repro.data.types import DataType
+from repro.fabrication.noise import (
+    abbreviate_column_name,
+    add_instance_noise,
+    add_schema_noise,
+    drop_vowels,
+    perturb_numeric_column,
+    perturb_string_column,
+    prefix_column_name,
+    typo,
+)
+
+
+class TestTypos:
+    def test_short_values_unchanged(self):
+        rng = random.Random(0)
+        assert typo("ab", rng) == "ab"
+
+    def test_typo_changes_value(self):
+        rng = random.Random(1)
+        original = "amsterdam"
+        noisy = [typo(original, rng) for _ in range(20)]
+        assert any(value != original for value in noisy)
+
+    def test_typo_deterministic_given_seed(self):
+        assert typo("rotterdam", random.Random(7)) == typo("rotterdam", random.Random(7))
+
+    def test_typo_output_similar_length(self):
+        rng = random.Random(3)
+        noisy = typo("characteristic", rng, operations=2)
+        assert abs(len(noisy) - len("characteristic")) <= 2
+
+
+class TestColumnPerturbation:
+    def test_string_column_noise_rate_zero_is_identity(self):
+        column = Column("c", ["alpha", "beta", "gamma"])
+        result = perturb_string_column(column, random.Random(0), noise_rate=0.0)
+        assert result.values == column.values
+
+    def test_string_column_noise_changes_some_values(self):
+        column = Column("c", ["alpha", "beta", "gamma", "deltaepsilon"] * 10)
+        result = perturb_string_column(column, random.Random(1), noise_rate=1.0)
+        changed = sum(1 for a, b in zip(column.values, result.values) if a != b)
+        assert changed > 10
+
+    def test_numeric_column_keeps_integers_integer(self):
+        column = Column("c", list(range(100)))
+        result = perturb_numeric_column(column, random.Random(2), noise_rate=1.0)
+        assert all(isinstance(value, int) for value in result.values)
+        assert result.values != column.values
+
+    def test_numeric_noise_scales_with_distribution(self):
+        values = [1000.0 + i for i in range(200)]
+        column = Column("c", values)
+        result = perturb_numeric_column(column, random.Random(3), noise_rate=1.0)
+        # Perturbed values should stay within a few standard deviations.
+        deviations = [abs(a - b) for a, b in zip(values, result.values)]
+        assert max(deviations) < 500
+
+    def test_missing_values_preserved(self):
+        column = Column("c", ["alpha", None, "beta"])
+        result = perturb_string_column(column, random.Random(4), noise_rate=1.0)
+        assert result.values[1] is None
+
+    def test_add_instance_noise_table(self, clients_table):
+        noisy = add_instance_noise(clients_table, random.Random(5), noise_rate=1.0)
+        assert noisy.column_names == clients_table.column_names
+        assert noisy.num_rows == clients_table.num_rows
+        differences = sum(
+            1
+            for name in clients_table.column_names
+            for a, b in zip(clients_table.column(name).values, noisy.column(name).values)
+            if a != b
+        )
+        assert differences > 0
+
+
+class TestSchemaNoise:
+    def test_prefix(self):
+        assert prefix_column_name("city", "customers") == "customers_city"
+        assert prefix_column_name("city", "two words") == "two_words_city"
+
+    def test_abbreviate(self):
+        assert abbreviate_column_name("customer_address_line") == "cust_addr_line"
+        assert abbreviate_column_name("") == ""
+
+    def test_drop_vowels_keeps_leading(self):
+        assert drop_vowels("address") == "addrss"
+        assert drop_vowels("aeiou") == "a"
+        assert drop_vowels("") == ""
+
+    def test_add_schema_noise_renames_every_column(self, clients_table):
+        noisy, mapping = add_schema_noise(clients_table, random.Random(6))
+        assert set(mapping) == set(clients_table.column_names)
+        assert all(mapping[name] != name or True for name in mapping)
+        changed = sum(1 for name, new in mapping.items() if new != name)
+        assert changed >= len(mapping) - 1
+
+    def test_add_schema_noise_avoids_collisions(self):
+        table = Table("t", {"aa": [1], "a_a": [2], "a-a": [3]})
+        noisy, mapping = add_schema_noise(table, random.Random(7))
+        assert len(set(mapping.values())) == 3
+        assert noisy.num_columns == 3
+
+    def test_schema_noise_keeps_values(self, clients_table):
+        noisy, mapping = add_schema_noise(clients_table, random.Random(8))
+        for original, renamed in mapping.items():
+            assert noisy.column(renamed).values == clients_table.column(original).values

@@ -1,0 +1,173 @@
+"""Tests for scenario-specific pair fabrication."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fabrication.pairs import NoiseVariant, Scenario
+from repro.fabrication.scenarios import (
+    fabricate_joinable,
+    fabricate_semantically_joinable,
+    fabricate_unionable,
+    fabricate_view_unionable,
+)
+
+
+class TestUnionable:
+    def test_same_arity_and_full_ground_truth(self, small_seed_table):
+        pair = fabricate_unionable(
+            small_seed_table,
+            NoiseVariant.VERBATIM_SCHEMA_VERBATIM_INSTANCES,
+            row_overlap=0.5,
+            rng=random.Random(1),
+        )
+        assert pair.scenario is Scenario.UNIONABLE
+        assert pair.source.num_columns == pair.target.num_columns == small_seed_table.num_columns
+        assert pair.ground_truth_size == small_seed_table.num_columns
+
+    def test_noisy_schema_renames_target(self, small_seed_table):
+        pair = fabricate_unionable(
+            small_seed_table,
+            NoiseVariant.NOISY_SCHEMA_VERBATIM_INSTANCES,
+            row_overlap=0.0,
+            rng=random.Random(2),
+        )
+        renamed = [t for s, t in pair.ground_truth if s != t]
+        assert renamed  # at least some columns renamed
+        # every ground-truth target column must exist in the target table
+        assert all(t in pair.target for _, t in pair.ground_truth)
+
+    def test_noisy_instances_change_values(self, small_seed_table):
+        pair = fabricate_unionable(
+            small_seed_table,
+            NoiseVariant.VERBATIM_SCHEMA_NOISY_INSTANCES,
+            row_overlap=1.0,
+            rng=random.Random(3),
+        )
+        differences = 0
+        for source_name, target_name in pair.ground_truth:
+            source_values = pair.source.column(source_name).values
+            target_values = pair.target.column(target_name).values
+            differences += sum(1 for a, b in zip(source_values, target_values) if a != b)
+        assert differences > 0
+
+    def test_row_overlap_zero_versus_full(self, small_seed_table):
+        disjoint = fabricate_unionable(
+            small_seed_table,
+            NoiseVariant.VERBATIM_SCHEMA_VERBATIM_INSTANCES,
+            row_overlap=0.0,
+            rng=random.Random(4),
+        )
+        # Compare overlap via a near-key column.
+        key = "net_worth"
+        shared_disjoint = set(disjoint.source.column(key).values) & set(disjoint.target.column(key).values)
+        full = fabricate_unionable(
+            small_seed_table,
+            NoiseVariant.VERBATIM_SCHEMA_VERBATIM_INSTANCES,
+            row_overlap=1.0,
+            rng=random.Random(4),
+        )
+        shared_full = set(full.source.column(key).values) & set(full.target.column(key).values)
+        assert len(shared_full) > len(shared_disjoint)
+
+
+class TestViewUnionable:
+    def test_ground_truth_is_shared_columns_only(self, small_seed_table):
+        pair = fabricate_view_unionable(
+            small_seed_table,
+            NoiseVariant.VERBATIM_SCHEMA_VERBATIM_INSTANCES,
+            column_overlap=0.5,
+            rng=random.Random(5),
+        )
+        assert pair.scenario is Scenario.VIEW_UNIONABLE
+        assert 0 < pair.ground_truth_size < small_seed_table.num_columns
+        assert pair.source.num_columns < small_seed_table.num_columns
+
+    def test_no_row_overlap(self, small_seed_table):
+        pair = fabricate_view_unionable(
+            small_seed_table,
+            NoiseVariant.VERBATIM_SCHEMA_VERBATIM_INSTANCES,
+            column_overlap=0.7,
+            rng=random.Random(6),
+        )
+        assert pair.metadata["row_overlap"] == 0.0
+
+
+class TestJoinable:
+    def test_verbatim_instances_required(self, small_seed_table):
+        with pytest.raises(ValueError):
+            fabricate_joinable(
+                small_seed_table,
+                NoiseVariant.NOISY_SCHEMA_NOISY_INSTANCES,
+                column_overlap=0.5,
+                rng=random.Random(7),
+            )
+
+    def test_single_join_column(self, small_seed_table):
+        pair = fabricate_joinable(
+            small_seed_table,
+            NoiseVariant.VERBATIM_SCHEMA_VERBATIM_INSTANCES,
+            column_overlap=1,
+            rng=random.Random(8),
+        )
+        assert pair.scenario is Scenario.JOINABLE
+        assert pair.ground_truth_size == 1
+
+    def test_shared_columns_have_identical_values_without_row_split(self, small_seed_table):
+        pair = fabricate_joinable(
+            small_seed_table,
+            NoiseVariant.VERBATIM_SCHEMA_VERBATIM_INSTANCES,
+            column_overlap=0.5,
+            rng=random.Random(9),
+            with_row_split=False,
+        )
+        for source_name, target_name in pair.ground_truth:
+            assert pair.source.column(source_name).values == pair.target.column(target_name).values
+
+    def test_row_split_reduces_overlap(self, small_seed_table):
+        pair = fabricate_joinable(
+            small_seed_table,
+            NoiseVariant.VERBATIM_SCHEMA_VERBATIM_INSTANCES,
+            column_overlap=0.5,
+            rng=random.Random(10),
+            with_row_split=True,
+        )
+        assert pair.metadata["row_overlap"] == 0.5
+        assert pair.source.num_rows < small_seed_table.num_rows
+
+
+class TestSemanticallyJoinable:
+    def test_noisy_instances_required(self, small_seed_table):
+        with pytest.raises(ValueError):
+            fabricate_semantically_joinable(
+                small_seed_table,
+                NoiseVariant.VERBATIM_SCHEMA_VERBATIM_INSTANCES,
+                column_overlap=0.5,
+                rng=random.Random(11),
+            )
+
+    def test_shared_column_values_perturbed(self, small_seed_table):
+        pair = fabricate_semantically_joinable(
+            small_seed_table,
+            NoiseVariant.VERBATIM_SCHEMA_NOISY_INSTANCES,
+            column_overlap=0.5,
+            rng=random.Random(12),
+        )
+        assert pair.scenario is Scenario.SEMANTICALLY_JOINABLE
+        differences = 0
+        for source_name, target_name in pair.ground_truth:
+            source_values = pair.source.column(source_name).values
+            target_values = pair.target.column(target_name).values
+            differences += sum(1 for a, b in zip(source_values, target_values) if a != b)
+        assert differences > 0
+
+    def test_ground_truth_columns_exist(self, small_seed_table):
+        pair = fabricate_semantically_joinable(
+            small_seed_table,
+            NoiseVariant.NOISY_SCHEMA_NOISY_INSTANCES,
+            column_overlap=0.3,
+            rng=random.Random(13),
+        )
+        pair.validate()  # must not raise

@@ -1,0 +1,98 @@
+"""Tests for horizontal and vertical table splitting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.table import Table
+from repro.fabrication.splitting import split_horizontal, split_vertical
+
+
+@pytest.fixture
+def wide_table() -> Table:
+    return Table(
+        "wide",
+        {f"col{i}": [f"v{i}_{j}" for j in range(40)] for i in range(10)},
+    )
+
+
+class TestHorizontalSplit:
+    def test_zero_overlap_partitions_rows(self, wide_table):
+        split = split_horizontal(wide_table, 0.0, random.Random(1))
+        assert split.first.num_rows + split.second.num_rows == wide_table.num_rows
+        rows_first = set(split.first.column("col0").values)
+        rows_second = set(split.second.column("col0").values)
+        assert not rows_first & rows_second
+
+    def test_full_overlap_duplicates_rows(self, wide_table):
+        split = split_horizontal(wide_table, 1.0, random.Random(2))
+        rows_first = set(split.first.column("col0").values)
+        rows_second = set(split.second.column("col0").values)
+        assert rows_first == rows_second == set(wide_table.column("col0").values)
+
+    def test_partial_overlap_between_extremes(self, wide_table):
+        split = split_horizontal(wide_table, 0.5, random.Random(3))
+        rows_first = set(split.first.column("col0").values)
+        rows_second = set(split.second.column("col0").values)
+        overlap = rows_first & rows_second
+        assert 0 < len(overlap) < wide_table.num_rows
+
+    def test_schema_preserved(self, wide_table):
+        split = split_horizontal(wide_table, 0.3, random.Random(4))
+        assert split.first.column_names == wide_table.column_names
+        assert split.second.column_names == wide_table.column_names
+
+    def test_invalid_overlap(self, wide_table):
+        with pytest.raises(ValueError):
+            split_horizontal(wide_table, 1.2, random.Random(0))
+
+    def test_too_few_rows(self):
+        table = Table("tiny", {"a": [1]})
+        with pytest.raises(ValueError):
+            split_horizontal(table, 0.5, random.Random(0))
+
+    def test_custom_names(self, wide_table):
+        split = split_horizontal(wide_table, 0.0, random.Random(5), first_name="L", second_name="R")
+        assert split.first.name == "L"
+        assert split.second.name == "R"
+
+
+class TestVerticalSplit:
+    def test_fractional_overlap(self, wide_table):
+        split = split_vertical(wide_table, 0.5, random.Random(1))
+        shared = set(split.first.column_names) & set(split.second.column_names)
+        assert shared == set(split.shared_columns)
+        assert len(shared) == 5
+
+    def test_absolute_single_column_overlap(self, wide_table):
+        split = split_vertical(wide_table, 1, random.Random(2))
+        assert len(split.shared_columns) == 1
+
+    def test_both_sides_have_exclusive_columns(self, wide_table):
+        split = split_vertical(wide_table, 0.3, random.Random(3))
+        exclusive_first = set(split.first.column_names) - set(split.shared_columns)
+        exclusive_second = set(split.second.column_names) - set(split.shared_columns)
+        assert exclusive_first and exclusive_second
+        assert not exclusive_first & exclusive_second
+
+    def test_rows_preserved(self, wide_table):
+        split = split_vertical(wide_table, 0.5, random.Random(4))
+        assert split.first.num_rows == wide_table.num_rows
+        assert split.second.num_rows == wide_table.num_rows
+
+    def test_column_order_preserved(self, wide_table):
+        split = split_vertical(wide_table, 0.5, random.Random(5))
+        original_order = {name: i for i, name in enumerate(wide_table.column_names)}
+        positions = [original_order[name] for name in split.first.column_names]
+        assert positions == sorted(positions)
+
+    def test_invalid_fraction(self, wide_table):
+        with pytest.raises(ValueError):
+            split_vertical(wide_table, 0.0, random.Random(0))
+
+    def test_too_few_columns(self):
+        table = Table("narrow", {"only": [1, 2]})
+        with pytest.raises(ValueError):
+            split_vertical(table, 0.5, random.Random(0))

@@ -1,0 +1,76 @@
+"""Tests for the similarity-flooding propagation fixpoint."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphmodel.propagation import (
+    PropagationConfig,
+    build_propagation_graph,
+    similarity_flood,
+)
+
+
+def _small_pcg() -> nx.DiGraph:
+    pcg = nx.DiGraph()
+    pcg.add_edge(("t1", "t2"), ("c1", "c2"), label="column")
+    pcg.add_edge(("t1", "t2"), ("c1", "d2"), label="column")
+    return pcg
+
+
+class TestPropagationConfig:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PropagationConfig(coefficient_policy="bogus")
+
+    def test_invalid_formula_rejected(self):
+        with pytest.raises(ValueError):
+            PropagationConfig(fixpoint_formula="z")
+
+
+class TestBuildPropagationGraph:
+    def test_inverse_average_coefficients(self):
+        propagation = build_propagation_graph(_small_pcg())
+        # The table pair has 2 outgoing 'column' edges -> forward weight 1/2.
+        assert propagation[("t1", "t2")][("c1", "c2")]["weight"] == pytest.approx(0.5)
+        # Each column pair has a single incoming 'column' edge -> backward weight 1.
+        assert propagation[("c1", "c2")][("t1", "t2")]["weight"] == pytest.approx(1.0)
+
+    def test_inverse_product_coefficients(self):
+        config = PropagationConfig(coefficient_policy="inverse_product")
+        propagation = build_propagation_graph(_small_pcg(), config)
+        assert propagation[("t1", "t2")][("c1", "c2")]["weight"] == pytest.approx(0.5)
+        assert propagation[("c1", "c2")][("t1", "t2")]["weight"] == pytest.approx(0.5)
+
+
+class TestSimilarityFlood:
+    def test_empty_graph(self):
+        assert similarity_flood(nx.DiGraph(), {}) == {}
+
+    def test_scores_normalised_to_unit_max(self):
+        pcg = _small_pcg()
+        result = similarity_flood(pcg, {("t1", "t2"): 1.0, ("c1", "c2"): 0.5})
+        assert max(result.values()) == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 for v in result.values())
+
+    def test_initial_similarity_breaks_symmetry(self):
+        pcg = _small_pcg()
+        result = similarity_flood(
+            pcg, {("c1", "c2"): 1.0, ("c1", "d2"): 0.0, ("t1", "t2"): 0.5}
+        )
+        assert result[("c1", "c2")] > result[("c1", "d2")]
+
+    def test_all_formulas_run(self):
+        pcg = _small_pcg()
+        initial = {("t1", "t2"): 1.0}
+        for formula in ("basic", "a", "b", "c"):
+            config = PropagationConfig(fixpoint_formula=formula, max_iterations=30)
+            result = similarity_flood(pcg, initial, config)
+            assert set(result) == set(pcg.nodes())
+
+    def test_convergence_under_iteration_cap(self):
+        pcg = _small_pcg()
+        config = PropagationConfig(max_iterations=1)
+        result = similarity_flood(pcg, {("t1", "t2"): 1.0}, config)
+        assert len(result) == 3

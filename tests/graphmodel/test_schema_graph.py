@@ -1,0 +1,71 @@
+"""Tests for schema graphs and the pairwise connectivity graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.table import Column, Table
+from repro.graphmodel.schema_graph import (
+    NodeKind,
+    SchemaNode,
+    build_schema_graph,
+    pairwise_connectivity_graph,
+)
+
+
+@pytest.fixture
+def small_table() -> Table:
+    return Table("orders", {"order_id": [1, 2], "amount": [9.5, 3.2]})
+
+
+class TestBuildSchemaGraph:
+    def test_node_kinds_present(self, small_table):
+        graph = build_schema_graph(small_table)
+        kinds = {node.kind for node in graph.nodes()}
+        assert kinds == {NodeKind.TABLE, NodeKind.COLUMN, NodeKind.NAME, NodeKind.TYPE}
+
+    def test_column_nodes_qualified(self, small_table):
+        graph = build_schema_graph(small_table)
+        column_nodes = [n for n in graph.nodes() if n.kind is NodeKind.COLUMN]
+        assert SchemaNode(NodeKind.COLUMN, "orders.order_id") in column_nodes
+
+    def test_edges_carry_labels(self, small_table):
+        graph = build_schema_graph(small_table)
+        labels = {data["label"] for _, _, data in graph.edges(data=True)}
+        assert labels == {"name", "column", "type"}
+
+    def test_shared_type_nodes_collapse(self, small_table):
+        graph = build_schema_graph(small_table)
+        type_nodes = [n for n in graph.nodes() if n.kind is NodeKind.TYPE]
+        # order_id is integer, amount is float -> two distinct type literals.
+        assert len(type_nodes) == 2
+
+
+class TestPairwiseConnectivityGraph:
+    def test_pcg_only_pairs_same_labels(self, small_table):
+        other = Table("invoices", {"invoice_id": [1], "total": [2.0]})
+        pcg = pairwise_connectivity_graph(build_schema_graph(small_table), build_schema_graph(other))
+        assert len(pcg) > 0
+        for (node_a, node_b) in pcg.nodes():
+            assert isinstance(node_a, SchemaNode) and isinstance(node_b, SchemaNode)
+
+    def test_column_pairs_appear(self, small_table):
+        other = Table("invoices", {"invoice_id": [1], "total": [2.0]})
+        pcg = pairwise_connectivity_graph(build_schema_graph(small_table), build_schema_graph(other))
+        column_pairs = [
+            (a, b)
+            for a, b in pcg.nodes()
+            if a.kind is NodeKind.COLUMN and b.kind is NodeKind.COLUMN
+        ]
+        # every column of A pairs with every column of B through the table->column edge
+        assert len(column_pairs) == 4
+
+    def test_empty_when_no_shared_labels(self):
+        import networkx as nx
+
+        graph_a = nx.DiGraph()
+        graph_a.add_edge("a1", "a2", label="only_in_a")
+        graph_b = nx.DiGraph()
+        graph_b.add_edge("b1", "b2", label="only_in_b")
+        pcg = pairwise_connectivity_graph(graph_a, graph_b)
+        assert len(pcg) == 0

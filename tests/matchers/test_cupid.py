@@ -1,0 +1,110 @@
+"""Tests for the Cupid matcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.table import Column, Table
+from repro.matchers.cupid import CupidMatcher, build_schema_tree, name_similarity, tree_match
+from repro.matchers.cupid.linguistic import category_compatibility, linguistic_similarity
+from repro.matchers.cupid.schema_tree import SchemaElement
+from repro.matchers.cupid.structural import CupidWeights
+from repro.metrics.ranking import recall_at_ground_truth
+
+
+class TestSchemaTree:
+    def test_tree_structure(self, clients_table):
+        tree = build_schema_tree(clients_table)
+        assert tree.table_name == "clients"
+        leaves = tree.leaves()
+        assert [leaf.name for leaf in leaves] == clients_table.column_names
+        assert all(leaf.is_leaf for leaf in leaves)
+
+    def test_leaf_by_name(self, clients_table):
+        tree = build_schema_tree(clients_table)
+        assert tree.leaf_by_name("PO").data_type is not None
+        assert tree.leaf_by_name("missing") is None
+
+    def test_elements_walk_preorder(self, clients_table):
+        tree = build_schema_tree(clients_table)
+        elements = tree.elements()
+        assert elements[0].category == "schema"
+        assert elements[1].category == "table"
+
+
+class TestLinguisticMatching:
+    def test_identical_names_score_high(self):
+        assert name_similarity("customer_name", "customer_name") == pytest.approx(1.0)
+
+    def test_synonyms_score_high(self):
+        assert name_similarity("client", "customer") >= 0.9
+
+    def test_abbreviations_recovered(self):
+        assert name_similarity("cust_addr", "customer_address") >= 0.8
+
+    def test_unrelated_names_score_low(self):
+        assert name_similarity("salary", "country") < 0.6
+
+    def test_empty_name(self):
+        assert name_similarity("", "anything") == 0.0
+
+    def test_category_compatibility_leaves(self):
+        int_leaf = SchemaElement("a", "integer", data_type=None)
+        # leaves without data types fall back to UNKNOWN compatibility
+        assert category_compatibility(int_leaf, int_leaf) > 0.0
+
+    def test_linguistic_similarity_scales_with_category(self):
+        from repro.data.types import DataType
+
+        left = SchemaElement("amount", "integer", data_type=DataType.INTEGER)
+        right_same = SchemaElement("amount", "integer", data_type=DataType.INTEGER)
+        right_other = SchemaElement("amount", "string", data_type=DataType.STRING)
+        assert linguistic_similarity(left, right_same) > linguistic_similarity(left, right_other)
+
+
+class TestTreeMatch:
+    def test_returns_all_leaf_pairs(self, clients_table, offices_table):
+        weighted = tree_match(build_schema_tree(clients_table), build_schema_tree(offices_table))
+        assert len(weighted) == clients_table.num_columns * offices_table.num_columns
+
+    def test_scores_in_unit_interval(self, clients_table, offices_table):
+        weighted = tree_match(build_schema_tree(clients_table), build_schema_tree(offices_table))
+        assert all(0.0 <= score <= 1.0 for score in weighted.values())
+
+    def test_country_abbreviation_matches(self, clients_table, offices_table):
+        weighted = tree_match(build_schema_tree(clients_table), build_schema_tree(offices_table))
+        country_scores = {pair: score for pair, score in weighted.items() if pair[0] == "Country"}
+        best = max(country_scores, key=country_scores.get)
+        assert best == ("Country", "Cntr")
+
+
+class TestCupidMatcher:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CupidMatcher(w_struct=1.5)
+        with pytest.raises(ValueError):
+            CupidMatcher(th_accept=-0.1)
+
+    def test_identical_schemas_perfect_recall(self, unionable_pair):
+        matcher = CupidMatcher()
+        result = matcher.get_matches(unionable_pair.source, unionable_pair.target)
+        recall = recall_at_ground_truth(result.ranked_pairs(), unionable_pair.ground_truth)
+        assert recall == 1.0
+
+    def test_complete_ranking(self, clients_table, offices_table):
+        result = CupidMatcher().get_matches(clients_table, offices_table)
+        assert len(result) == clients_table.num_columns * offices_table.num_columns
+
+    def test_synonym_columns_matched(self):
+        source = Table("s", {"client": ["a", "b"], "salary": [1, 2]})
+        target = Table("t", {"customer": ["c", "d"], "wage": [3, 4]})
+        result = CupidMatcher().get_matches(source, target)
+        top_two = result.ranked_pairs()[:2]
+        assert ("client", "customer") in top_two
+        assert ("salary", "wage") in top_two
+
+    def test_parameters_exposed(self):
+        matcher = CupidMatcher(w_struct=0.4, leaf_w_struct=0.2, th_accept=0.6)
+        params = matcher.parameters()
+        assert params["w_struct"] == 0.4
+        assert params["th_accept"] == 0.6

@@ -1,0 +1,81 @@
+"""Tests for the Jaccard–Levenshtein baseline matcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.table import Column, Table
+from repro.matchers.jaccard_levenshtein import JaccardLevenshteinMatcher, _fuzzy_jaccard
+from repro.metrics.ranking import recall_at_ground_truth
+
+
+class TestFuzzyJaccard:
+    def test_identical_sets(self):
+        assert _fuzzy_jaccard(["a", "b"], ["a", "b"], threshold=0.8, sample_size=10) == 1.0
+
+    def test_disjoint_sets(self):
+        assert _fuzzy_jaccard(["aaa"], ["zzz"], threshold=0.8, sample_size=10) == 0.0
+
+    def test_typo_tolerance(self):
+        score = _fuzzy_jaccard(["amsterdam"], ["amsterdan"], threshold=0.8, sample_size=10)
+        assert score == 1.0
+
+    def test_strict_threshold_rejects_typos(self):
+        score = _fuzzy_jaccard(["amsterdam"], ["amsterdan"], threshold=1.0, sample_size=10)
+        assert score == 0.0
+
+    def test_empty_sides(self):
+        assert _fuzzy_jaccard([], [], threshold=0.5, sample_size=10) == 1.0
+        assert _fuzzy_jaccard(["a"], [], threshold=0.5, sample_size=10) == 0.0
+
+    def test_case_insensitive(self):
+        assert _fuzzy_jaccard(["Apple"], ["apple"], threshold=1.0, sample_size=10) == 1.0
+
+
+class TestMatcher:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            JaccardLevenshteinMatcher(threshold=1.5)
+        with pytest.raises(ValueError):
+            JaccardLevenshteinMatcher(sample_size=-1)
+
+    def test_ranks_value_overlapping_columns_first(self):
+        source = Table(
+            "s",
+            [
+                Column("city", ["amsterdam", "rotterdam", "delft", "utrecht"]),
+                Column("code", ["a1", "b2", "c3", "d4"]),
+            ],
+        )
+        target = Table(
+            "t",
+            [
+                Column("town", ["delft", "utrecht", "amsterdam", "eindhoven"]),
+                Column("ident", ["x9", "y8", "z7", "w6"]),
+            ],
+        )
+        result = JaccardLevenshteinMatcher(threshold=0.8).get_matches(source, target)
+        assert result.ranked_pairs()[0] == ("city", "town")
+
+    def test_complete_ranking_emitted(self):
+        source = Table("s", {"a": ["1", "2"], "b": ["x", "y"]})
+        target = Table("t", {"c": ["1", "2"], "d": ["p", "q"]})
+        result = JaccardLevenshteinMatcher().get_matches(source, target)
+        assert len(result) == 4  # all pairs present, ranking decides
+
+    def test_perfect_recall_on_identical_tables(self, unionable_pair):
+        matcher = JaccardLevenshteinMatcher(threshold=0.8, sample_size=50)
+        result = matcher.get_matches(unionable_pair.source, unionable_pair.target)
+        recall = recall_at_ground_truth(result.ranked_pairs(), unionable_pair.ground_truth)
+        assert recall >= 0.6
+
+    def test_ignores_attribute_names(self):
+        # Same names but disjoint values -> low score; different names with
+        # shared values -> high score.
+        source = Table("s", {"value": ["aa", "bb", "cc"]})
+        target = Table(
+            "t",
+            {"value": ["zz", "yy", "xx"], "other": ["aa", "bb", "cc"]},
+        )
+        result = JaccardLevenshteinMatcher(threshold=0.9).get_matches(source, target)
+        assert result.ranked_pairs()[0] == ("value", "other")

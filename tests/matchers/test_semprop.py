@@ -1,0 +1,74 @@
+"""Tests for the SemProp matcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.table import Column, Table
+from repro.matchers.semprop import SemPropMatcher, coherence_score, link_to_ontology
+from repro.ontology.domain import business_ontology, chemistry_ontology
+
+
+class TestSemanticLinking:
+    def test_links_are_sorted_and_thresholded(self):
+        links = link_to_ontology("customer_name", business_ontology(), threshold=0.3)
+        strengths = [link.strength for link in links]
+        assert strengths == sorted(strengths, reverse=True)
+        assert all(s >= 0.3 for s in strengths)
+
+    def test_strict_threshold_gives_no_links(self):
+        links = link_to_ontology("xqzt_qq", business_ontology(), threshold=0.99)
+        assert links == []
+
+    def test_top_k_limits_links(self):
+        links = link_to_ontology("customer", business_ontology(), threshold=0.0, top_k=2)
+        assert len(links) <= 2
+
+    def test_coherence_requires_related_classes(self):
+        ontology = business_ontology()
+        links_a = link_to_ontology("customer", ontology, threshold=0.3)
+        links_b = link_to_ontology("client", ontology, threshold=0.3)
+        links_c = link_to_ontology("zipcode", ontology, threshold=0.3)
+        assert coherence_score(links_a, links_b, ontology) >= coherence_score(links_a, links_c, ontology)
+
+    def test_coherence_empty_links(self):
+        assert coherence_score([], [], business_ontology()) == 0.0
+
+
+class TestSemPropMatcher:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SemPropMatcher(semantic_threshold=1.4)
+
+    def test_complete_ranking(self, clients_table, offices_table):
+        matcher = SemPropMatcher(num_permutations=32)
+        result = matcher.get_matches(clients_table, offices_table)
+        assert len(result) == clients_table.num_columns * offices_table.num_columns
+        assert all(0.0 <= m.score <= 1.0 for m in result)
+
+    def test_value_overlap_fallback_ranks_shared_values(self):
+        source = Table("s", {"qqq": ["alpha", "beta", "gamma", "delta"] * 3})
+        target = Table(
+            "t",
+            {
+                "zzz": ["alpha", "beta", "gamma", "delta"] * 3,
+                "www": ["one", "two", "three", "four"] * 3,
+            },
+        )
+        matcher = SemPropMatcher(semantic_threshold=0.95, num_permutations=64)
+        result = matcher.get_matches(source, target)
+        assert result.ranked_pairs()[0] == ("qqq", "zzz")
+
+    def test_custom_ontology_accepted(self, clients_table, offices_table):
+        matcher = SemPropMatcher(ontology=chemistry_ontology(), num_permutations=32)
+        result = matcher.get_matches(clients_table, offices_table)
+        assert len(result) > 0
+
+    def test_semantic_matches_rank_above_syntactic(self):
+        # 'country' links to the ontology for both sides (semantic match);
+        # the hash columns only get weak syntactic evidence.
+        source = Table("s", {"country": ["USA", "China", "France"], "hashcol": ["ab12", "cd34", "ef56"]})
+        target = Table("t", {"nation": ["Japan", "Brazil", "Spain"], "token": ["zz98", "yy87", "xx76"]})
+        matcher = SemPropMatcher(semantic_threshold=0.4, coherent_threshold=0.2, num_permutations=32)
+        scores = matcher.get_matches(source, target).scores()
+        assert scores[("country", "nation")] > scores[("hashcol", "token")]

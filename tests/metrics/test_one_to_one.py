@@ -1,0 +1,38 @@
+"""Tests for classic 1-1 matching metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.one_to_one import precision_recall_f1
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_prediction(self):
+        truth = [("a", "x"), ("b", "y")]
+        scores = precision_recall_f1(truth, truth)
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+        assert scores.f1 == 1.0
+        assert scores.true_positives == 2
+
+    def test_partial_overlap(self):
+        predicted = [("a", "x"), ("c", "z")]
+        truth = [("a", "x"), ("b", "y")]
+        scores = precision_recall_f1(predicted, truth)
+        assert scores.precision == 0.5
+        assert scores.recall == 0.5
+        assert scores.f1 == pytest.approx(0.5)
+        assert scores.false_positives == 1
+        assert scores.false_negatives == 1
+
+    def test_empty_prediction(self):
+        scores = precision_recall_f1([], [("a", "x")])
+        assert scores.precision == 0.0
+        assert scores.recall == 0.0
+        assert scores.f1 == 0.0
+
+    def test_empty_ground_truth(self):
+        scores = precision_recall_f1([("a", "x")], [])
+        assert scores.recall == 0.0
+        assert scores.false_positives == 1

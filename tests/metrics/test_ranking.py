@@ -1,0 +1,77 @@
+"""Tests for ranked effectiveness metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.ranking import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_ground_truth,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+TRUTH = [("a", "a2"), ("b", "b2"), ("c", "c2")]
+
+
+class TestRecallAtGroundTruth:
+    def test_perfect_ranking(self):
+        ranked = [("a", "a2"), ("b", "b2"), ("c", "c2"), ("x", "y")]
+        assert recall_at_ground_truth(ranked, TRUTH) == 1.0
+
+    def test_partial_ranking(self):
+        ranked = [("a", "a2"), ("x", "y"), ("b", "b2"), ("c", "c2")]
+        # top-3 contains 2 relevant of 3
+        assert recall_at_ground_truth(ranked, TRUTH) == pytest.approx(2 / 3)
+
+    def test_empty_ground_truth(self):
+        assert recall_at_ground_truth([("a", "b")], []) == 0.0
+
+    def test_empty_ranking(self):
+        assert recall_at_ground_truth([], TRUTH) == 0.0
+
+    def test_equivalent_to_precision_at_gt_size(self):
+        ranked = [("a", "a2"), ("x", "y"), ("b", "b2")]
+        assert recall_at_ground_truth(ranked, TRUTH) == precision_at_k(ranked, TRUTH, len(TRUTH))
+
+    def test_relevant_below_cutoff_not_counted(self):
+        ranked = [("x", "1"), ("y", "2"), ("z", "3"), ("a", "a2")]
+        assert recall_at_ground_truth(ranked, TRUTH) == 0.0
+
+
+class TestPrecisionRecallAtK:
+    def test_precision_at_k(self):
+        ranked = [("a", "a2"), ("x", "y")]
+        assert precision_at_k(ranked, TRUTH, 1) == 1.0
+        assert precision_at_k(ranked, TRUTH, 2) == 0.5
+
+    def test_precision_k_zero(self):
+        assert precision_at_k([("a", "a2")], TRUTH, 0) == 0.0
+
+    def test_recall_at_k_grows_with_k(self):
+        ranked = [("a", "a2"), ("b", "b2"), ("c", "c2")]
+        values = [recall_at_k(ranked, TRUTH, k) for k in (1, 2, 3)]
+        assert values == [pytest.approx(1 / 3), pytest.approx(2 / 3), pytest.approx(1.0)]
+
+
+class TestOtherRankMetrics:
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank([("x", "y"), ("a", "a2")], TRUTH) == 0.5
+        assert reciprocal_rank([("x", "y")], TRUTH) == 0.0
+
+    def test_average_precision_perfect(self):
+        ranked = [("a", "a2"), ("b", "b2"), ("c", "c2")]
+        assert average_precision(ranked, TRUTH) == pytest.approx(1.0)
+
+    def test_average_precision_interleaved(self):
+        ranked = [("a", "a2"), ("x", "y"), ("b", "b2")]
+        expected = (1.0 + 2 / 3) / 3
+        assert average_precision(ranked, TRUTH) == pytest.approx(expected)
+
+    def test_ndcg_bounds(self):
+        ranked = [("a", "a2"), ("x", "y"), ("b", "b2")]
+        assert 0.0 < ndcg_at_k(ranked, TRUTH, 3) < 1.0
+        assert ndcg_at_k([("a", "a2"), ("b", "b2"), ("c", "c2")], TRUTH, 3) == pytest.approx(1.0)
+        assert ndcg_at_k(ranked, [], 3) == 0.0

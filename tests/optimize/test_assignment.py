@@ -1,0 +1,76 @@
+"""Tests for assignment helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimize.assignment import greedy_assignment, max_weight_assignment, stable_marriage
+
+
+class TestMaxWeightAssignment:
+    def test_simple_diagonal(self):
+        sims = {("a", "x"): 0.9, ("a", "y"): 0.1, ("b", "x"): 0.2, ("b", "y"): 0.8}
+        assignment = max_weight_assignment(sims)
+        assert assignment == {("a", "x"): 0.9, ("b", "y"): 0.8}
+
+    def test_prefers_total_weight_over_greedy_choice(self):
+        # Greedy would take (a,x)=0.9 and then (b,y)=0.1 (total 1.0);
+        # optimal is (a,y)+(b,x) = 0.8 + 0.8 = 1.6.
+        sims = {("a", "x"): 0.9, ("a", "y"): 0.8, ("b", "x"): 0.8, ("b", "y"): 0.1}
+        assignment = max_weight_assignment(sims)
+        assert set(assignment) == {("a", "y"), ("b", "x")}
+
+    def test_threshold_filters_weak_pairs(self):
+        sims = {("a", "x"): 0.05, ("b", "y"): 0.9}
+        assignment = max_weight_assignment(sims, threshold=0.1)
+        assert assignment == {("b", "y"): 0.9}
+
+    def test_empty_input(self):
+        assert max_weight_assignment({}) == {}
+
+
+class TestGreedyAssignment:
+    def test_each_element_used_once(self):
+        sims = {("a", "x"): 0.9, ("a", "y"): 0.8, ("b", "x"): 0.7, ("b", "y"): 0.6}
+        assignment = greedy_assignment(sims)
+        sources = [pair[0] for pair in assignment]
+        targets = [pair[1] for pair in assignment]
+        assert len(sources) == len(set(sources))
+        assert len(targets) == len(set(targets))
+
+    def test_greedy_takes_best_first(self):
+        sims = {("a", "x"): 0.9, ("a", "y"): 0.8, ("b", "x"): 0.8, ("b", "y"): 0.1}
+        assignment = greedy_assignment(sims)
+        assert ("a", "x") in assignment
+
+    def test_threshold_stops_selection(self):
+        sims = {("a", "x"): 0.4, ("b", "y"): 0.2}
+        assert greedy_assignment(sims, threshold=0.3) == {("a", "x"): 0.4}
+
+
+class TestStableMarriage:
+    def test_basic_matching_is_one_to_one(self):
+        sims = {
+            ("a", "x"): 0.9,
+            ("a", "y"): 0.2,
+            ("b", "x"): 0.8,
+            ("b", "y"): 0.7,
+        }
+        matching = stable_marriage(sims)
+        targets = [pair[1] for pair in matching]
+        assert len(targets) == len(set(targets))
+        assert ("a", "x") in matching
+
+    def test_displacement(self):
+        # b prefers x and x prefers b over a, so a ends with y.
+        sims = {
+            ("a", "x"): 0.5,
+            ("a", "y"): 0.4,
+            ("b", "x"): 0.9,
+        }
+        matching = stable_marriage(sims)
+        assert ("b", "x") in matching
+        assert ("a", "y") in matching
+
+    def test_empty(self):
+        assert stable_marriage({}) == {}

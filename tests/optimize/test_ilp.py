@@ -1,0 +1,97 @@
+"""Tests for the 0/1 branch-and-bound integer program solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimize.ilp import BinaryProgram, Constraint
+
+
+class TestConstraint:
+    def test_invalid_sense_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint({0: 1.0}, "!=", 1.0)
+
+    def test_satisfaction_checks(self):
+        le = Constraint({0: 1.0, 1: 1.0}, "<=", 1.0)
+        assert le.satisfied([1, 0])
+        assert not le.satisfied([1, 1])
+        ge = Constraint({0: 2.0}, ">=", 1.0)
+        assert ge.satisfied([1])
+        assert not ge.satisfied([0])
+        eq = Constraint({0: 1.0}, "==", 1.0)
+        assert eq.satisfied([1])
+        assert not eq.satisfied([0])
+
+
+class TestBinaryProgram:
+    def test_empty_program(self):
+        solution = BinaryProgram(0).solve()
+        assert solution.is_optimal
+        assert solution.objective == 0.0
+
+    def test_unconstrained_maximisation_selects_positive_coefficients(self):
+        program = BinaryProgram(3)
+        program.set_objective({0: 1.0, 1: -2.0, 2: 3.0})
+        solution = program.solve()
+        assert solution.assignment == {0: 1, 1: 0, 2: 1}
+        assert solution.objective == pytest.approx(4.0)
+
+    def test_knapsack_style_constraint(self):
+        program = BinaryProgram(2)
+        program.set_objective({0: 1.0, 1: 2.0})
+        program.add_constraint({0: 1.0, 1: 1.0}, "<=", 1.0)
+        solution = program.solve()
+        assert solution.assignment == {0: 0, 1: 1}
+
+    def test_three_item_knapsack(self):
+        # values 6, 5, 4 with weights 3, 2, 2, capacity 4 -> pick items 1 and 2.
+        program = BinaryProgram(3)
+        program.set_objective({0: 6.0, 1: 5.0, 2: 4.0})
+        program.add_constraint({0: 3.0, 1: 2.0, 2: 2.0}, "<=", 4.0)
+        solution = program.solve()
+        assert solution.assignment == {0: 0, 1: 1, 2: 1}
+        assert solution.objective == pytest.approx(9.0)
+
+    def test_equality_constraint(self):
+        program = BinaryProgram(3)
+        program.set_objective({0: 1.0, 1: 1.0, 2: 10.0})
+        program.add_constraint({0: 1.0, 1: 1.0, 2: 1.0}, "==", 1.0)
+        solution = program.solve()
+        assert solution.assignment == {0: 0, 1: 0, 2: 1}
+
+    def test_greater_equal_forces_selection(self):
+        program = BinaryProgram(2)
+        program.set_objective({0: -1.0, 1: -2.0})
+        program.add_constraint({0: 1.0, 1: 1.0}, ">=", 1.0)
+        solution = program.solve()
+        assert solution.assignment == {0: 1, 1: 0}
+
+    def test_infeasible_program(self):
+        program = BinaryProgram(1)
+        program.set_objective({0: 1.0})
+        program.add_constraint({0: 1.0}, ">=", 2.0)
+        solution = program.solve()
+        assert solution.status == "infeasible"
+
+    def test_out_of_range_index_rejected(self):
+        program = BinaryProgram(1)
+        with pytest.raises(IndexError):
+            program.set_objective({3: 1.0})
+        with pytest.raises(IndexError):
+            program.add_constraint({5: 1.0}, "<=", 1.0)
+
+    def test_negative_variable_count_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryProgram(-1)
+
+    def test_transitivity_style_constraints(self):
+        # Edge variables (ab, bc, ac); selecting ab and bc forces ac, whose
+        # weight is negative; the optimum still selects the triangle because
+        # ab + bc outweighs ac's penalty.
+        program = BinaryProgram(3)
+        program.set_objective({0: 2.0, 1: 2.0, 2: -1.0})
+        program.add_constraint({0: 1.0, 1: 1.0, 2: -1.0}, "<=", 1.0)
+        solution = program.solve()
+        assert solution.assignment[0] == 1 and solution.assignment[1] == 1
+        assert solution.assignment[2] == 1

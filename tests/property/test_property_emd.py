@@ -1,0 +1,70 @@
+"""Property-based tests for histograms and EMD."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.distributions.emd import emd_1d
+from repro.distributions.histograms import build_histogram, rank_values
+
+value_lists = st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=40)
+
+
+@st.composite
+def weight_pairs(draw, count: int = 2):
+    """Draw ``count`` weight vectors sharing the same bucket grid with positive mass."""
+    length = draw(st.integers(min_value=2, max_value=12))
+    vectors = []
+    for _ in range(count):
+        vector = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=length,
+                max_size=length,
+            )
+        )
+        assume(sum(vector) > 0)
+        vectors.append(vector)
+    return vectors
+
+
+class TestEmdProperties:
+    @given(weight_pairs(2))
+    def test_symmetry(self, vectors):
+        a, b = vectors
+        assert emd_1d(a, b) == emd_1d(b, a)
+
+    @given(weight_pairs(1))
+    def test_identity_is_zero(self, vectors):
+        (a,) = vectors
+        assert emd_1d(a, list(a)) == 0.0
+
+    @given(weight_pairs(2))
+    def test_non_negative_and_bounded(self, vectors):
+        a, b = vectors
+        distance = emd_1d(a, b)
+        assert 0.0 <= distance <= len(a)
+
+    @settings(max_examples=40)
+    @given(weight_pairs(3))
+    def test_triangle_inequality(self, vectors):
+        a, b, c = vectors
+        assert emd_1d(a, c) <= emd_1d(a, b) + emd_1d(b, c) + 1e-9
+
+
+class TestHistogramProperties:
+    @given(value_lists, st.integers(min_value=1, max_value=15))
+    def test_weights_are_distribution(self, values, buckets):
+        ranks = rank_values(values)
+        histogram = build_histogram(values, ranks, num_buckets=buckets)
+        assert len(histogram.weights) == buckets
+        assert abs(sum(histogram.weights) - 1.0) < 1e-9
+
+    @given(value_lists)
+    def test_ranks_are_dense_and_ordered(self, values):
+        ranks = rank_values(values)
+        distinct = sorted(set(values))
+        assert sorted(set(ranks.values())) == list(range(len(distinct)))
+        for smaller, larger in zip(distinct, distinct[1:]):
+            assert ranks[smaller] < ranks[larger]

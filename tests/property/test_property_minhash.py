@@ -1,0 +1,72 @@
+"""Property-based tests for MinHash signatures and match-result invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.table import ColumnRef
+from repro.matchers.base import Match, MatchResult
+from repro.sketches.minhash import minhash_signature
+
+value_sets = st.sets(st.text(min_size=1, max_size=6), min_size=0, max_size=30)
+
+
+class TestMinHashProperties:
+    @settings(max_examples=30)
+    @given(value_sets, value_sets)
+    def test_estimate_bounded(self, a, b):
+        sig_a = minhash_signature(a, num_permutations=64)
+        sig_b = minhash_signature(b, num_permutations=64)
+        assert 0.0 <= sig_a.jaccard(sig_b) <= 1.0
+
+    @settings(max_examples=30)
+    @given(value_sets)
+    def test_identity_estimate_is_one(self, a):
+        sig = minhash_signature(a, num_permutations=64)
+        assert sig.jaccard(minhash_signature(a, num_permutations=64)) == 1.0
+
+    @settings(max_examples=30)
+    @given(value_sets, value_sets)
+    def test_symmetry(self, a, b):
+        sig_a = minhash_signature(a, num_permutations=64)
+        sig_b = minhash_signature(b, num_permutations=64)
+        assert sig_a.jaccard(sig_b) == sig_b.jaccard(sig_a)
+
+
+scores = st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=0, max_size=30)
+
+
+class TestMatchResultProperties:
+    @given(scores)
+    def test_ranking_sorted_descending(self, values):
+        matches = [
+            Match(score, ColumnRef("s", f"a{i}"), ColumnRef("t", f"b{i}"))
+            for i, score in enumerate(values)
+        ]
+        result = MatchResult(matches)
+        ranked_scores = [match.score for match in result]
+        assert ranked_scores == sorted(ranked_scores, reverse=True)
+
+    @given(scores, st.integers(min_value=0, max_value=40))
+    def test_top_k_is_prefix(self, values, k):
+        matches = [
+            Match(score, ColumnRef("s", f"a{i}"), ColumnRef("t", f"b{i}"))
+            for i, score in enumerate(values)
+        ]
+        result = MatchResult(matches)
+        top = result.top_k(k)
+        assert len(top) == min(k, len(result))
+        assert top.ranked_pairs() == result.ranked_pairs()[: len(top)]
+
+    @given(scores)
+    def test_one_to_one_never_reuses_columns(self, values):
+        matches = [
+            Match(score, ColumnRef("s", f"a{i % 3}"), ColumnRef("t", f"b{i % 4}"))
+            for i, score in enumerate(values)
+        ]
+        filtered = MatchResult(matches).one_to_one()
+        sources = [match.source for match in filtered]
+        targets = [match.target for match in filtered]
+        assert len(sources) == len(set(sources))
+        assert len(targets) == len(set(targets))

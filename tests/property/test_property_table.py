@@ -1,0 +1,78 @@
+"""Property-based tests for the tabular substrate and the fabricator."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.csv_io import table_from_csv_text, table_to_csv_text
+from repro.data.table import Column, Table
+from repro.fabrication.noise import add_schema_noise
+from repro.fabrication.splitting import split_horizontal, split_vertical
+
+# Strategy: small tables with printable string cells and unique column names.
+column_names = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8),
+    min_size=2,
+    max_size=6,
+    unique=True,
+)
+cell = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789 ", min_size=1, max_size=8)
+
+
+@st.composite
+def tables(draw) -> Table:
+    names = draw(column_names)
+    num_rows = draw(st.integers(min_value=2, max_value=12))
+    columns = [Column(name, [draw(cell) for _ in range(num_rows)]) for name in names]
+    return Table("generated", columns)
+
+
+class TestTableProperties:
+    @settings(max_examples=30)
+    @given(tables())
+    def test_csv_round_trip_preserves_shape_and_names(self, table):
+        rebuilt = table_from_csv_text(table_to_csv_text(table), name=table.name, infer_types=False)
+        assert rebuilt.column_names == table.column_names
+        assert rebuilt.num_rows == table.num_rows
+
+    @settings(max_examples=30)
+    @given(tables(), st.integers(min_value=0, max_value=100))
+    def test_projection_preserves_row_count(self, table, seed):
+        rng = random.Random(seed)
+        subset = rng.sample(table.column_names, k=max(1, len(table.column_names) // 2))
+        projected = table.project(subset)
+        assert projected.num_rows == table.num_rows
+        assert projected.column_names == [n for n in subset]
+
+
+class TestSplitProperties:
+    @settings(max_examples=30)
+    @given(tables(), st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=0, max_value=10_000))
+    def test_horizontal_split_conserves_columns(self, table, overlap, seed):
+        split = split_horizontal(table, overlap, random.Random(seed))
+        assert split.first.column_names == table.column_names
+        assert split.second.column_names == table.column_names
+        assert split.first.num_rows + split.second.num_rows >= table.num_rows
+
+    @settings(max_examples=30)
+    @given(tables(), st.integers(min_value=0, max_value=10_000))
+    def test_vertical_split_shares_declared_columns(self, table, seed):
+        split = split_vertical(table, 0.5, random.Random(seed))
+        shared = set(split.first.column_names) & set(split.second.column_names)
+        assert shared == set(split.shared_columns)
+        union = set(split.first.column_names) | set(split.second.column_names)
+        assert union == set(table.column_names)
+
+
+class TestSchemaNoiseProperties:
+    @settings(max_examples=30)
+    @given(tables(), st.integers(min_value=0, max_value=10_000))
+    def test_renaming_is_bijective_and_value_preserving(self, table, seed):
+        noisy, mapping = add_schema_noise(table, random.Random(seed))
+        assert set(mapping) == set(table.column_names)
+        assert len(set(mapping.values())) == len(mapping)
+        for original, renamed in mapping.items():
+            assert noisy.column(renamed).values == table.column(original).values

@@ -1,0 +1,56 @@
+"""Tests for MinHash signatures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches.minhash import MinHashSignature, estimate_jaccard, minhash_signature
+from repro.text.distance import jaccard_similarity
+
+
+class TestMinHashSignature:
+    def test_identical_sets_estimate_one(self):
+        values = [f"value_{i}" for i in range(100)]
+        assert estimate_jaccard(values, list(values)) == pytest.approx(1.0)
+
+    def test_disjoint_sets_estimate_near_zero(self):
+        a = [f"a_{i}" for i in range(100)]
+        b = [f"b_{i}" for i in range(100)]
+        assert estimate_jaccard(a, b) <= 0.05
+
+    def test_estimate_tracks_true_jaccard(self):
+        a = [f"v_{i}" for i in range(200)]
+        b = [f"v_{i}" for i in range(100, 300)]
+        truth = jaccard_similarity(a, b)
+        estimate = estimate_jaccard(a, b, num_permutations=256)
+        assert estimate == pytest.approx(truth, abs=0.1)
+
+    def test_deterministic_given_seed(self):
+        values = ["x", "y", "z"]
+        assert minhash_signature(values).values == minhash_signature(values).values
+
+    def test_case_and_whitespace_normalised(self):
+        assert minhash_signature(["Apple "]).values == minhash_signature(["apple"]).values
+
+    def test_empty_set_signature(self):
+        signature = minhash_signature([])
+        assert signature.set_size == 0
+        other = minhash_signature(["a"])
+        assert signature.jaccard(other) <= 1.0
+
+    def test_mismatched_permutations_rejected(self):
+        a = minhash_signature(["x"], num_permutations=16)
+        b = minhash_signature(["x"], num_permutations=32)
+        with pytest.raises(ValueError):
+            a.jaccard(b)
+
+    def test_invalid_permutation_count(self):
+        with pytest.raises(ValueError):
+            minhash_signature(["x"], num_permutations=0)
+
+    def test_containment_of_subset(self):
+        small = [f"v_{i}" for i in range(50)]
+        large = [f"v_{i}" for i in range(200)]
+        signature_small = minhash_signature(small, num_permutations=256)
+        signature_large = minhash_signature(large, num_permutations=256)
+        assert signature_small.containment(signature_large) >= 0.7

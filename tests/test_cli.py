@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.csv_io import write_csv
+from repro.data.table import Table
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("coverage", "parameters"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+
+class TestCommands:
+    def test_coverage(self, capsys):
+        assert main(["coverage"]) == 0
+        output = capsys.readouterr().out
+        assert "Cupid" in output
+
+    def test_parameters_fast(self, capsys):
+        assert main(["parameters", "--fast"]) == 0
+        output = capsys.readouterr().out
+        assert "th_accept" in output
+
+    def test_fabricate_writes_csv_files(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "fabricate",
+                "--source",
+                "tpcdi",
+                "--rows",
+                "40",
+                "--scenario",
+                "unionable",
+                "--output",
+                str(tmp_path / "pairs"),
+            ]
+        )
+        assert exit_code == 0
+        files = list((tmp_path / "pairs").glob("*.csv"))
+        # 12 unionable pairs x 3 files each (source, target, ground truth)
+        assert len(files) == 36
+        assert any("ground_truth" in f.name for f in files)
+
+    def test_match_command(self, tmp_path, capsys):
+        source = Table("s", {"city": ["delft", "leiden"], "amount": [1, 2]})
+        target = Table("t", {"town": ["delft", "gouda"], "value": [3, 4]})
+        source_path = write_csv(source, tmp_path / "source.csv")
+        target_path = write_csv(target, tmp_path / "target.csv")
+        exit_code = main(
+            ["match", str(source_path), str(target_path), "--method", "ComaSchema", "--top", "2"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert len(output.strip().splitlines()) == 2
+
+    def test_run_command_small(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "run",
+                "--source",
+                "tpcdi",
+                "--rows",
+                "30",
+                "--methods",
+                "ComaSchema",
+                "--output",
+                str(tmp_path / "results.json"),
+            ]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "results.json").exists()
+        output = capsys.readouterr().out
+        assert "Recall@ground-truth" in output

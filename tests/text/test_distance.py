@@ -1,0 +1,108 @@
+"""Tests for string similarity and set-overlap measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.distance import (
+    containment,
+    dice_coefficient,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    longest_common_substring,
+    monge_elkan,
+    normalized_levenshtein,
+    overlap_coefficient,
+    prefix_similarity,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("book", "back", 2),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein_distance(a, b) == expected
+
+    def test_symmetry(self):
+        assert levenshtein_distance("street", "str") == levenshtein_distance("str", "street")
+
+    def test_normalized_range(self):
+        assert normalized_levenshtein("abc", "abc") == 1.0
+        assert normalized_levenshtein("abc", "xyz") == 0.0
+        assert 0.0 < normalized_levenshtein("abcd", "abce") < 1.0
+
+    def test_normalized_empty_strings(self):
+        assert normalized_levenshtein("", "") == 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_winkler_boosts_shared_prefix(self):
+        plain = jaro_similarity("prefixes", "prefixed")
+        boosted = jaro_winkler_similarity("prefixes", "prefixed")
+        assert boosted >= plain
+
+    def test_winkler_in_unit_interval(self):
+        assert 0.0 <= jaro_winkler_similarity("abc", "zzz") <= 1.0
+
+
+class TestSetMeasures:
+    def test_jaccard(self):
+        assert jaccard_similarity({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_jaccard_empty_sets(self):
+        assert jaccard_similarity([], []) == 1.0
+        assert jaccard_similarity([1], []) == 0.0
+
+    def test_dice(self):
+        assert dice_coefficient({1, 2}, {2, 3}) == pytest.approx(0.5)
+
+    def test_overlap_coefficient(self):
+        assert overlap_coefficient({1, 2}, {1, 2, 3, 4}) == 1.0
+
+    def test_containment_direction_matters(self):
+        assert containment({1, 2}, {1, 2, 3}) == 1.0
+        assert containment({1, 2, 3}, {1, 2}) == pytest.approx(2 / 3)
+
+    def test_containment_empty(self):
+        assert containment([], [1]) == 0.0
+
+
+class TestOtherMeasures:
+    def test_longest_common_substring(self):
+        assert longest_common_substring("customer_name", "client_name") == len("_name")
+        assert longest_common_substring("", "abc") == 0
+
+    def test_prefix_similarity(self):
+        assert prefix_similarity("address", "addr") == 1.0
+        assert prefix_similarity("abc", "xyz") == 0.0
+
+    def test_monge_elkan_identical_tokens(self):
+        assert monge_elkan(["customer", "name"], ["customer", "name"]) == pytest.approx(1.0)
+
+    def test_monge_elkan_empty(self):
+        assert monge_elkan([], ["a"]) == 0.0
+
+    def test_monge_elkan_partial(self):
+        score = monge_elkan(["customer"], ["client", "customer_id"])
+        assert 0.5 < score <= 1.0

@@ -1,0 +1,42 @@
+"""Tests for the Porter-style stemmer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.stemmer import stem
+
+
+class TestStemmer:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("cats", "cat"),
+            ("agreed", "agree"),
+            ("plastered", "plaster"),
+            ("motoring", "motor"),
+            ("happy", "happi"),
+            ("relational", "relate"),
+            ("addresses", "address"),
+        ],
+    )
+    def test_known_stems(self, word, expected):
+        assert stem(word) == expected
+
+    def test_short_words_unchanged(self):
+        assert stem("go") == "go"
+        assert stem("id") == "id"
+
+    def test_idempotent_on_common_attribute_names(self):
+        for word in ("customer", "country", "salary", "address", "assay"):
+            assert stem(stem(word)) == stem(word)
+
+    def test_plural_and_singular_share_stem(self):
+        assert stem("countries") == stem("countries")
+        assert stem("customers") == stem("customer")
+        assert stem("payments") == stem("payment")
+
+    def test_case_insensitive(self):
+        assert stem("Customers") == stem("customers")

@@ -1,0 +1,71 @@
+"""Tests for the bundled thesaurus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.thesaurus import Thesaurus, default_thesaurus
+
+
+class TestDefaultThesaurus:
+    def test_singleton(self):
+        assert default_thesaurus() is default_thesaurus()
+
+    def test_core_synonyms(self):
+        thesaurus = default_thesaurus()
+        assert thesaurus.are_synonyms("client", "customer")
+        assert thesaurus.are_synonyms("country", "nation")
+        assert thesaurus.are_synonyms("salary", "wage")
+
+    def test_plural_forms_are_matched(self):
+        thesaurus = default_thesaurus()
+        assert thesaurus.are_synonyms("clients", "customers")
+
+    def test_hypernyms(self):
+        thesaurus = default_thesaurus()
+        assert thesaurus.are_hypernyms("customer", "person")
+        assert thesaurus.are_hypernyms("person", "customer")
+
+    def test_relation_scores_ordering(self):
+        thesaurus = default_thesaurus()
+        synonym = thesaurus.relation_score("client", "customer")
+        hypernym = thesaurus.relation_score("manager", "employee")
+        unrelated = thesaurus.relation_score("salary", "country")
+        assert synonym == 1.0
+        assert hypernym in (0.8, 1.0)
+        assert unrelated == 0.0
+        assert synonym >= hypernym > unrelated
+
+    def test_identity_scores_one(self):
+        assert default_thesaurus().relation_score("street", "street") == 1.0
+
+    def test_contains(self):
+        thesaurus = default_thesaurus()
+        assert "customer" in thesaurus
+        assert "qwertyzxc" not in thesaurus
+
+
+class TestCustomThesaurus:
+    def test_add_group_and_lookup(self):
+        thesaurus = Thesaurus()
+        thesaurus.add_synonym_group(("foo", "bar"))
+        assert thesaurus.are_synonyms("foo", "bar")
+        assert not thesaurus.are_synonyms("foo", "baz")
+
+    def test_add_hypernym(self):
+        thesaurus = Thesaurus()
+        thesaurus.add_hypernym("beagle", "dog")
+        assert thesaurus.are_hypernyms("beagle", "dog")
+        assert thesaurus.relation_score("beagle", "dog") == pytest.approx(0.8)
+
+    def test_shared_neighbourhood_scores_partial(self):
+        thesaurus = Thesaurus()
+        thesaurus.add_synonym_group(("alpha", "mid"))
+        thesaurus.add_synonym_group(("mid", "omega"))
+        assert thesaurus.relation_score("alpha", "omega") >= 0.6
+
+    def test_len_counts_keys(self):
+        thesaurus = Thesaurus()
+        assert len(thesaurus) == 0
+        thesaurus.add_synonym_group(("a1", "b1"))
+        assert len(thesaurus) == 2
