@@ -9,12 +9,16 @@ Subcommands:
 * ``run`` — run the experiment grid over fabricated pairs and print the
   Figure 4–6 style summaries;
 * ``match`` — match two CSV files with a chosen method and print the ranked
-  matches.
+  matches;
+* ``lake build`` / ``lake query`` — maintain a persistent column-sketch
+  store over a directory of CSV files and run index-accelerated discovery
+  queries against it.
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
 import sys
 from pathlib import Path
 
@@ -70,6 +74,28 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("target_csv", type=Path)
     match.add_argument("--method", default="ComaSchema", help="registered matcher name")
     match.add_argument("--top", type=int, default=20, help="number of ranked matches to print")
+
+    lake = subparsers.add_parser("lake", help="persistent sketch store + LSH discovery")
+    lake_commands = lake.add_subparsers(dest="lake_command", required=True)
+
+    build = lake_commands.add_parser("build", help="(re)build the sketch store from CSVs")
+    build.add_argument("input", type=Path, help="directory of CSV files (one table each)")
+    build.add_argument("--store", type=Path, default=Path("lake.sketches"), help="store path")
+    build.add_argument(
+        "--prune",
+        action="store_true",
+        help="also drop store tables whose CSV is no longer in the input directory",
+    )
+
+    query = lake_commands.add_parser("query", help="discover related tables for a CSV")
+    query.add_argument("query_csv", type=Path)
+    query.add_argument("--store", type=Path, default=Path("lake.sketches"), help="store path")
+    query.add_argument(
+        "--mode", choices=["joinable", "unionable", "combined"], default="joinable"
+    )
+    query.add_argument("--method", default="ComaSchema", help="registered matcher name")
+    query.add_argument("--top", type=int, default=10, help="number of tables to report")
+    query.add_argument("--parallel", action="store_true", help="rerank in a process pool")
 
     return parser
 
@@ -129,6 +155,81 @@ def _command_match(source_csv: Path, target_csv: Path, method: str, top: int) ->
     return 0
 
 
+def _command_lake_build(input_dir: Path, store_path: Path, prune: bool) -> int:
+    from repro.lake import SketchStore
+
+    csv_paths = sorted(input_dir.glob("*.csv"))
+    if not csv_paths:
+        print(f"no CSV files found in {input_dir}", file=sys.stderr)
+        return 1
+    try:
+        store = SketchStore(store_path)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    with store:
+        sketched = skipped = pruned = 0
+        unreadable: list[str] = []
+        for path in csv_paths:
+            try:
+                table = read_csv(path)
+            except (OSError, ValueError, csv.Error) as exc:
+                print(f"skipping unreadable {path}: {exc}", file=sys.stderr)
+                unreadable.append(path.stem)
+                continue
+            # Absolute paths so `lake query` resolves from any working dir.
+            if store.add_table(table, source_path=path.resolve()):
+                sketched += 1
+            else:
+                skipped += 1
+        if prune:
+            # Unreadable CSVs are still present on disk: keep their sketches.
+            current = {path.stem for path in csv_paths}
+            for name in store.table_names:
+                if name not in current:
+                    store.remove_table(name)
+                    pruned += 1
+    suffix = f", {pruned} pruned" if prune else ""
+    if unreadable:
+        suffix += f", {len(unreadable)} unreadable (skipped)"
+    print(
+        f"store {store_path}: {sketched} tables sketched, "
+        f"{skipped} unchanged (cache hits){suffix}"
+    )
+    return 0
+
+
+def _command_lake_query(
+    query_csv: Path, store_path: Path, mode: str, method: str, top: int, parallel: bool
+) -> int:
+    from repro.lake import LakeDiscoveryEngine, SketchStore
+
+    if not store_path.exists():
+        print(f"no sketch store at {store_path}; run `lake build` first", file=sys.stderr)
+        return 1
+    query = read_csv(query_csv)
+    try:
+        store = SketchStore(store_path)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    with store:
+        engine = LakeDiscoveryEngine(matcher=matcher_class(method)(), store=store)
+        results = engine.query(query, mode=mode, top_k=top, parallel=parallel)
+        print(
+            f"query {query.name!r} against {len(store)} tables "
+            f"({engine.last_rerank_count} candidates reranked with {method})"
+        )
+    for result in results:
+        best = result.scores.best_pair
+        best_text = f"  via {best[0]} ~ {best[1]}" if best else ""
+        print(
+            f"join={result.joinability:.3f} union={result.unionability:.3f}  "
+            f"{result.table_name}{best_text}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -143,6 +244,12 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run(args.source, args.rows, args.methods, args.full_grid, args.output)
     if args.command == "match":
         return _command_match(args.source_csv, args.target_csv, args.method, args.top)
+    if args.command == "lake":
+        if args.lake_command == "build":
+            return _command_lake_build(args.input, args.store, args.prune)
+        return _command_lake_query(
+            args.query_csv, args.store, args.mode, args.method, args.top, args.parallel
+        )
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -15,19 +15,51 @@ from repro.data.table import Table
 from repro.discovery.relatedness import RelatednessScores, relatedness
 from repro.matchers.base import BaseMatcher, MatchResult
 
-__all__ = ["DatasetRepository", "DiscoveryResult", "DiscoveryEngine"]
+__all__ = [
+    "DatasetRepository",
+    "DiscoveryResult",
+    "DiscoveryEngine",
+    "sort_discovery_results",
+    "DEFAULT_MIN_CANDIDATES",
+    "DEFAULT_CANDIDATE_MULTIPLIER",
+]
+
+#: Default shortlist slack for index-pruned discovery: an exact top-k query
+#: reranks ``max(DEFAULT_MIN_CANDIDATES, DEFAULT_CANDIDATE_MULTIPLIER * k)``
+#: sketch-level candidates so the matcher can repair sketch ranking mistakes.
+#: Shared by :meth:`DiscoveryEngine.discover` and
+#: :class:`~repro.lake.engine.LakeDiscoveryEngine`.
+DEFAULT_MIN_CANDIDATES = 20
+DEFAULT_CANDIDATE_MULTIPLIER = 5
 
 
 class DatasetRepository:
-    """A named collection of candidate tables (an in-memory "data lake")."""
+    """A named collection of candidate tables (an in-memory "data lake").
+
+    Iteration order is deterministic: tables are yielded in insertion order
+    (re-adding an existing name keeps its original position).
+    """
 
     def __init__(self, tables: Iterable[Table] = ()) -> None:
         self._tables: dict[str, Table] = {}
         for table in tables:
             self.add(table)
 
-    def add(self, table: Table) -> None:
-        """Register a table under its own name (replacing any previous one)."""
+    def add(self, table: Table, overwrite: bool = True) -> None:
+        """Register a table under its own name.
+
+        Parameters
+        ----------
+        table:
+            The table to register.
+        overwrite:
+            When True (default) a table with the same name is silently
+            replaced (keeping its position in the iteration order).  When
+            False a name collision raises ``ValueError`` instead — use this
+            to catch accidental double-registration in lake builds.
+        """
+        if not overwrite and table.name in self._tables:
+            raise ValueError(f"repository already contains a table named {table.name!r}")
         self._tables[table.name] = table
 
     def remove(self, name: str) -> None:
@@ -70,6 +102,22 @@ class DiscoveryResult:
         return self.scores.unionability
 
 
+def sort_discovery_results(results: list[DiscoveryResult], mode: str) -> None:
+    """Sort *results* in place by the ranking criterion of *mode*.
+
+    Shared by the brute-force and the index-accelerated engines so both
+    produce identical orderings (descending score, ties broken by name).
+    """
+    if mode == "joinable":
+        results.sort(key=lambda r: (-r.joinability, r.table_name))
+    elif mode == "unionable":
+        results.sort(key=lambda r: (-r.unionability, r.table_name))
+    elif mode == "combined":
+        results.sort(key=lambda r: (-r.scores.combined(), r.table_name))
+    else:
+        raise ValueError(f"unknown discovery mode {mode!r}")
+
+
 @dataclass
 class DiscoveryEngine:
     """Ranks repository tables against a query table using a column matcher.
@@ -97,8 +145,10 @@ class DiscoveryEngine:
         repository: DatasetRepository,
         mode: str = "joinable",
         top_k: Optional[int] = None,
+        index: Optional[object] = None,
+        candidate_limit: Optional[int] = None,
     ) -> list[DiscoveryResult]:
-        """Rank every repository table against *query*.
+        """Rank repository tables against *query*.
 
         Parameters
         ----------
@@ -111,18 +161,34 @@ class DiscoveryEngine:
             unionability) or ``"combined"``.
         top_k:
             Optionally truncate the ranking.
+        index:
+            Optional fast path: any object with a
+            ``shortlist(query, limit) -> list[str]`` method (e.g. a
+            :class:`~repro.lake.index.LakeIndex`).  When given, only the
+            shortlisted tables are matched instead of the whole repository —
+            O(candidates) instead of O(lake).
+        candidate_limit:
+            Shortlist size for the fast path; defaults to
+            ``max(DEFAULT_MIN_CANDIDATES, DEFAULT_CANDIDATE_MULTIPLIER *
+            top_k)`` so the exact matcher has slack to repair sketch-level
+            ranking mistakes (unbounded when neither is set).
         """
         if mode not in ("joinable", "unionable", "combined"):
             raise ValueError(f"unknown discovery mode {mode!r}")
-        results = [
-            self.score_pair(query, candidate)
-            for candidate in repository
-            if candidate.name != query.name
-        ]
-        if mode == "joinable":
-            results.sort(key=lambda r: (-r.joinability, r.table_name))
-        elif mode == "unionable":
-            results.sort(key=lambda r: (-r.unionability, r.table_name))
+        if index is not None:
+            limit = candidate_limit
+            if limit is None and top_k is not None:
+                limit = max(
+                    DEFAULT_MIN_CANDIDATES, DEFAULT_CANDIDATE_MULTIPLIER * top_k
+                )
+            names = index.shortlist(query, limit)
+            candidates = [
+                table
+                for table in (repository.get(name) for name in names)
+                if table is not None and table.name != query.name
+            ]
         else:
-            results.sort(key=lambda r: (-r.scores.combined(), r.table_name))
+            candidates = [c for c in repository if c.name != query.name]
+        results = [self.score_pair(query, candidate) for candidate in candidates]
+        sort_discovery_results(results, mode)
         return results[:top_k] if top_k is not None else results

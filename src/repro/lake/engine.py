@@ -1,0 +1,205 @@
+"""Discovery engine that prunes with the lake index before matching.
+
+``DiscoveryEngine`` is O(lake size x matcher cost) per query.  The
+:class:`LakeDiscoveryEngine` replaces the scan with a two-stage plan:
+
+1. **Prune** — sketch the query table (a few ms) and ask the
+   :class:`~repro.lake.index.LakeIndex` for the top candidate tables by
+   sketch-level evidence; everything else in the lake is never touched.
+2. **Rerank** — run the configured :class:`BaseMatcher` only on the
+   survivors and derive the usual joinability/unionability scores, exactly
+   as the brute-force engine would.  Reranking is embarrassingly parallel,
+   so a process-pool path is provided for expensive matchers.
+
+The candidate tables' *values* come either from an in-memory
+:class:`DatasetRepository` or lazily from the CSV paths recorded in the
+store at build time — only shortlisted tables are ever loaded from disk.
+"""
+
+from __future__ import annotations
+
+import csv
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.data.csv_io import read_csv
+from repro.data.table import Table
+from repro.discovery.search import (
+    DEFAULT_CANDIDATE_MULTIPLIER,
+    DEFAULT_MIN_CANDIDATES,
+    DatasetRepository,
+    DiscoveryEngine,
+    DiscoveryResult,
+    sort_discovery_results,
+)
+from repro.lake.index import CandidateTable, LakeIndex, LSHParams
+from repro.lake.profiles import sketch_table
+from repro.lake.store import SketchStore
+from repro.matchers.base import BaseMatcher
+
+__all__ = ["LakeDiscoveryEngine"]
+
+
+@dataclass
+class LakeDiscoveryEngine:
+    """Index-accelerated dataset discovery over a persistent sketch store.
+
+    Attributes
+    ----------
+    matcher:
+        Any :class:`BaseMatcher`; only shortlisted candidates see it.
+    store:
+        The persistent sketch store backing the index.
+    params:
+        LSH banding / pre-filter parameters.
+    union_threshold:
+        Column-score threshold of the unionability measure.
+    candidate_multiplier / min_candidates:
+        Shortlist size for a ``top_k`` query is
+        ``max(min_candidates, candidate_multiplier * top_k)`` — the slack is
+        what lets the exact matcher repair sketch-level ranking mistakes.
+    """
+
+    matcher: BaseMatcher
+    store: SketchStore
+    params: LSHParams = field(default_factory=LSHParams)
+    union_threshold: float = 0.55
+    candidate_multiplier: int = DEFAULT_CANDIDATE_MULTIPLIER
+    min_candidates: int = DEFAULT_MIN_CANDIDATES
+    #: How many candidates the matcher actually reranked in the last
+    #: :meth:`query` (before top-k truncation) — the pruning statistic.
+    last_rerank_count: int = field(default=0, repr=False, init=False)
+    _index: Optional[LakeIndex] = field(default=None, repr=False, init=False)
+    _index_version: int = field(default=-1, repr=False, init=False)
+
+    # ------------------------------------------------------------------ #
+    # build / maintenance
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        tables: Union[DatasetRepository, Iterable[Table]],
+        source_paths: Optional[dict[str, str]] = None,
+    ) -> int:
+        """Add every table to the store; returns how many (re)sketches ran.
+
+        Unchanged tables (same content hash) are cache hits and cost one
+        hash, not a re-profile.
+        """
+        changed = 0
+        for table in tables:
+            path = (source_paths or {}).get(table.name)
+            if self.store.add_table(table, source_path=path):
+                changed += 1
+        return changed
+
+    @property
+    def index(self) -> LakeIndex:
+        """The LSH index, kept in sync with the store.
+
+        Built once from the whole store, then refreshed *incrementally* when
+        the store version moves on: only tables sketched after the index's
+        version are (re)added and vanished tables removed, so one mutation
+        on a large lake does not trigger an O(lake) rebuild.
+        """
+        store_version = self.store.version
+        if self._index is None:
+            self._index = LakeIndex.from_store(self.store, params=self.params)
+        elif self._index_version != store_version:
+            current = set(self.store.table_names)
+            for name in self._index.table_names - current:
+                self._index.remove(name)
+            for name in self.store.updated_since(self._index_version):
+                sketch = self.store.get(name)
+                if sketch is not None:
+                    self._index.add(sketch)
+        self._index_version = store_version
+        return self._index
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def shortlist(
+        self, query: Table, top_k: Optional[int] = None
+    ) -> list[CandidateTable]:
+        """Sketch *query* and return the index's candidate tables."""
+        limit = None
+        if top_k is not None:
+            limit = max(self.min_candidates, self.candidate_multiplier * top_k)
+        sketch = sketch_table(query, self.store.config, content_hash="")
+        return self.index.candidate_tables(sketch, top_k=limit)
+
+    def _resolve_candidate(
+        self, name: str, repository: Optional[DatasetRepository]
+    ) -> Optional[Table]:
+        if repository is not None:
+            table = repository.get(name)
+            if table is not None:
+                return table
+        path = self.store.source_path(name) if name in self.store else None
+        if path is not None:
+            try:
+                return read_csv(path, name=name)
+            except (OSError, ValueError, csv.Error):
+                # Stale store entry: the CSV moved, or was overwritten with
+                # something unreadable, since `build`. Skip the candidate.
+                return None
+        return None
+
+    def query(
+        self,
+        query: Table,
+        repository: Optional[DatasetRepository] = None,
+        mode: str = "joinable",
+        top_k: Optional[int] = None,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> list[DiscoveryResult]:
+        """Rank lake tables against *query*: prune with the index, rerank.
+
+        Parameters
+        ----------
+        query:
+            The input table (does not need to be in the store).
+        repository:
+            Where candidate values live.  When omitted, candidates are read
+            lazily from the CSV paths recorded at build time; candidates
+            available neither in the repository nor on disk cannot be
+            matched and are excluded from the ranking.
+        mode:
+            ``"joinable"``, ``"unionable"`` or ``"combined"`` (same
+            semantics as :meth:`DiscoveryEngine.discover`).
+        top_k:
+            Truncate the final ranking (also bounds the shortlist).
+        parallel:
+            Rerank candidates in a process pool instead of serially.
+        max_workers:
+            Pool size for the parallel path (default: executor's choice).
+        """
+        if mode not in ("joinable", "unionable", "combined"):
+            raise ValueError(f"unknown discovery mode {mode!r}")
+        shortlist = self.shortlist(query, top_k=top_k)
+        candidates: list[Table] = []
+        for entry in shortlist:
+            if entry.table_name == query.name:
+                continue
+            table = self._resolve_candidate(entry.table_name, repository)
+            if table is not None:
+                candidates.append(table)
+        self.last_rerank_count = len(candidates)
+        # Delegate pair scoring to the brute-force engine so both engines can
+        # never drift; the bound method pickles fine for the process pool.
+        scorer = DiscoveryEngine(
+            matcher=self.matcher, union_threshold=self.union_threshold
+        )
+        if parallel and len(candidates) > 1:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                results = list(
+                    pool.map(
+                        scorer.score_pair, [query] * len(candidates), candidates
+                    )
+                )
+        else:
+            results = [scorer.score_pair(query, candidate) for candidate in candidates]
+        sort_discovery_results(results, mode)
+        return results[:top_k] if top_k is not None else results

@@ -1,0 +1,320 @@
+"""Versioned on-disk store of table sketches.
+
+The store is the persistent half of the lake index: sketches are computed
+once when a table is added and survive process restarts, so a discovery
+query against a 10k-table lake never re-profiles the lake.  SQLite is used
+as the storage engine (stdlib, single file, transactional); sketches are
+stored as JSON payloads keyed by ``(table, column)``.
+
+Consistency properties:
+
+* **Cache invalidation** — :meth:`SketchStore.add_table` hashes the table's
+  content and skips re-sketching when the stored hash matches, so repeated
+  builds over an unchanged lake are cheap.
+* **Versioning** — every mutation bumps a monotone store version, letting an
+  in-memory :class:`~repro.lake.index.LakeIndex` detect staleness cheaply.
+* **Config pinning** — the sketch parameters are persisted on creation;
+  reopening with a conflicting :class:`SketchConfig` raises instead of
+  silently mixing incomparable signatures.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.data.table import Table
+from repro.lake.profiles import (
+    ColumnSketch,
+    SketchConfig,
+    TableSketch,
+    sketch_table,
+    table_content_hash,
+)
+
+__all__ = ["SketchStore"]
+
+_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS tables (
+    name TEXT PRIMARY KEY,
+    content_hash TEXT NOT NULL,
+    num_rows INTEGER NOT NULL,
+    source_path TEXT,
+    updated_version INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS columns (
+    table_name TEXT NOT NULL,
+    column_name TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (table_name, column_name),
+    FOREIGN KEY (table_name) REFERENCES tables(name) ON DELETE CASCADE
+);
+"""
+
+
+class SketchStore:
+    """A persistent, incrementally updatable collection of table sketches.
+
+    Parameters
+    ----------
+    path:
+        SQLite database path; ``":memory:"`` gives an ephemeral store.
+    config:
+        Sketch parameters.  For an existing store the persisted config wins;
+        passing a different explicit config raises ``ValueError``.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path] = ":memory:",
+        config: Optional[SketchConfig] = None,
+    ) -> None:
+        self.path = str(path)
+        self._connection = None
+        try:
+            self._connection = sqlite3.connect(self.path)
+            self._connection.execute("PRAGMA foreign_keys = ON")
+            existing = {
+                row[0]
+                for row in self._connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+            if existing and "meta" not in existing:
+                # A valid SQLite database, but somebody else's: refuse to
+                # adopt it rather than writing sketch tables into it.
+                self._connection.close()
+                raise ValueError(
+                    f"{self.path!r} is a SQLite database but not a sketch store"
+                )
+            self._connection.executescript(_SCHEMA)
+        except sqlite3.Error as exc:
+            if self._connection is not None:
+                self._connection.close()
+            raise ValueError(
+                f"cannot open {self.path!r} as a sketch store (SQLite) file: {exc}"
+            ) from exc
+        stored = self._read_meta("sketch_config")
+        if stored is None:
+            self.config = config or SketchConfig()
+            with self._connection:
+                self._write_meta("schema_version", str(_SCHEMA_VERSION))
+                self._write_meta("sketch_config", json.dumps(self.config.as_dict()))
+                self._write_meta("version", "0")
+        else:
+            schema_version = int(self._read_meta("schema_version") or 0)
+            if schema_version != _SCHEMA_VERSION:
+                self._connection.close()
+                raise ValueError(
+                    f"store at {self.path!r} has schema version {schema_version}, "
+                    f"this code reads version {_SCHEMA_VERSION}"
+                )
+            persisted = SketchConfig.from_dict(json.loads(stored))
+            if config is not None and config != persisted:
+                self._connection.close()
+                raise ValueError(
+                    f"store at {self.path!r} was built with {persisted}, "
+                    f"cannot reopen with {config}"
+                )
+            self.config = persisted
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the underlying connection (the store object becomes unusable)."""
+        self._connection.close()
+
+    def __enter__(self) -> "SketchStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # meta helpers
+    # ------------------------------------------------------------------ #
+    def _read_meta(self, key: str) -> Optional[str]:
+        row = self._connection.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return row[0] if row else None
+
+    def _write_meta(self, key: str, value: str) -> None:
+        self._connection.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (key, value),
+        )
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every mutating operation."""
+        return int(self._read_meta("version") or 0)
+
+    def _bump_version(self) -> int:
+        version = self.version + 1
+        self._write_meta("version", str(version))
+        return version
+
+    # ------------------------------------------------------------------ #
+    # mutations
+    # ------------------------------------------------------------------ #
+    def add_table(
+        self, table: Table, source_path: Optional[Union[str, Path]] = None
+    ) -> bool:
+        """Sketch *table* and persist it; returns whether re-sketching ran.
+
+        If a sketch for ``table.name`` already exists with the same content
+        hash the call is a cache hit and nothing is recomputed (though a
+        changed *source_path* is still refreshed, so moved lakes keep
+        resolving).  A changed hash (or a new name) re-sketches and replaces
+        atomically.
+        """
+        content_hash = table_content_hash(table)
+        resolved_path = None if source_path is None else str(source_path)
+        row = self._connection.execute(
+            "SELECT content_hash, source_path FROM tables WHERE name = ?",
+            (table.name,),
+        ).fetchone()
+        if row is not None and row[0] == content_hash:
+            # Refresh a moved path, but never forget one: callers that add
+            # in-memory tables (no source_path) must not null the recorded one.
+            if resolved_path is not None and row[1] != resolved_path:
+                with self._connection:
+                    self._connection.execute(
+                        "UPDATE tables SET source_path = ? WHERE name = ?",
+                        (resolved_path, table.name),
+                    )
+            return False
+        sketch = sketch_table(table, self.config, content_hash=content_hash)
+        with self._connection:
+            self._connection.execute(
+                "DELETE FROM columns WHERE table_name = ?", (table.name,)
+            )
+            self._connection.execute(
+                "INSERT INTO tables (name, content_hash, num_rows, source_path, updated_version) "
+                "VALUES (?, ?, ?, ?, ?) "
+                "ON CONFLICT(name) DO UPDATE SET content_hash = excluded.content_hash, "
+                "num_rows = excluded.num_rows, source_path = excluded.source_path, "
+                "updated_version = excluded.updated_version",
+                (
+                    table.name,
+                    content_hash,
+                    table.num_rows,
+                    resolved_path,
+                    self.version + 1,
+                ),
+            )
+            self._connection.executemany(
+                "INSERT INTO columns (table_name, column_name, payload) VALUES (?, ?, ?)",
+                [
+                    (table.name, column.column_name, json.dumps(column.to_dict()))
+                    for column in sketch.columns
+                ],
+            )
+            self._bump_version()
+        return True
+
+    def remove_table(self, name: str) -> bool:
+        """Drop the sketch of *name*; returns whether it existed."""
+        with self._connection:
+            cursor = self._connection.execute(
+                "DELETE FROM tables WHERE name = ?", (name,)
+            )
+            if cursor.rowcount == 0:
+                return False
+            self._bump_version()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._connection.execute("SELECT COUNT(*) FROM tables").fetchone()[0]
+
+    def __contains__(self, name: str) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM tables WHERE name = ?", (name,)
+        ).fetchone()
+        return row is not None
+
+    @property
+    def table_names(self) -> list[str]:
+        """Registered table names in insertion (rowid) order."""
+        rows = self._connection.execute(
+            "SELECT name FROM tables ORDER BY rowid"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def updated_since(self, version: int) -> list[str]:
+        """Names of tables (re)sketched after store version *version*.
+
+        Removals are not reported — diff :attr:`table_names` for those.  This
+        is the delta query behind incremental index refresh.
+        """
+        rows = self._connection.execute(
+            "SELECT name FROM tables WHERE updated_version > ? ORDER BY rowid",
+            (version,),
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def source_path(self, name: str) -> Optional[str]:
+        """The recorded source path of *name* (``None`` when not recorded)."""
+        row = self._connection.execute(
+            "SELECT source_path FROM tables WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"store has no table {name!r}")
+        return row[0]
+
+    def get(self, name: str) -> Optional[TableSketch]:
+        """Return the :class:`TableSketch` of *name* or ``None``."""
+        row = self._connection.execute(
+            "SELECT content_hash, num_rows FROM tables WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            return None
+        payloads = self._connection.execute(
+            "SELECT payload FROM columns WHERE table_name = ? ORDER BY rowid",
+            (name,),
+        ).fetchall()
+        columns = tuple(ColumnSketch.from_dict(json.loads(p[0])) for p in payloads)
+        return TableSketch(
+            name=name, content_hash=row[0], num_rows=row[1], columns=columns
+        )
+
+    def __iter__(self) -> Iterator[TableSketch]:
+        """Iterate over all table sketches in insertion order.
+
+        Reads the whole store in two bulk queries (not 2N point lookups), so
+        full-index rebuilds stay cheap on large lakes.
+        """
+        metadata = self._connection.execute(
+            "SELECT name, content_hash, num_rows FROM tables ORDER BY rowid"
+        ).fetchall()
+        payloads = self._connection.execute(
+            "SELECT c.table_name, c.payload FROM columns c "
+            "JOIN tables t ON t.name = c.table_name ORDER BY t.rowid, c.rowid"
+        ).fetchall()
+        columns_of: dict[str, list[ColumnSketch]] = {}
+        for table_name, payload in payloads:
+            columns_of.setdefault(table_name, []).append(
+                ColumnSketch.from_dict(json.loads(payload))
+            )
+        for name, content_hash, num_rows in metadata:
+            yield TableSketch(
+                name=name,
+                content_hash=content_hash,
+                num_rows=num_rows,
+                columns=tuple(columns_of.get(name, ())),
+            )
+

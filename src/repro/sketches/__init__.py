@@ -1,5 +1,15 @@
 """Sketching substrate: MinHash signatures for set-overlap estimation."""
 
-from repro.sketches.minhash import MinHashSignature, estimate_jaccard, minhash_signature
+from repro.sketches.minhash import (
+    MinHashSignature,
+    estimate_jaccard,
+    minhash_signature,
+    minhash_signatures,
+)
 
-__all__ = ["MinHashSignature", "minhash_signature", "estimate_jaccard"]
+__all__ = [
+    "MinHashSignature",
+    "minhash_signature",
+    "minhash_signatures",
+    "estimate_jaccard",
+]

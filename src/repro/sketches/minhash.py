@@ -8,20 +8,33 @@ deterministic MinHash implementation with Jaccard and containment estimators.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["MinHashSignature", "minhash_signature", "estimate_jaccard"]
+__all__ = [
+    "MinHashSignature",
+    "minhash_signature",
+    "minhash_signatures",
+    "estimate_jaccard",
+]
 
 _MERSENNE_PRIME = (1 << 61) - 1
 _MAX_HASH = (1 << 32) - 1
 
 
+@functools.lru_cache(maxsize=1 << 16)
 def _stable_hash(value: str) -> int:
-    """Deterministic 32-bit hash of a string (independent of PYTHONHASHSEED)."""
+    """Deterministic 32-bit hash of a string (independent of PYTHONHASHSEED).
+
+    Cached so repeated values across a lake — and the histogram pass reusing
+    the values the MinHash pass already hashed — cost one digest each.  The
+    size is bounded (~64k entries) so long-lived processes don't pin every
+    distinct cell value they ever sketched.
+    """
     digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "little") & _MAX_HASH
 
@@ -57,9 +70,15 @@ class MinHashSignature:
 
 
 def _permutation_parameters(num_permutations: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """Multipliers/offsets of the ``(a*h + b) mod p`` permutation family.
+
+    ``a`` and ``b`` are drawn below 2^32 so that with 32-bit value hashes the
+    product ``a*h + b`` stays below 2^64 and the modular reduction is *exact*
+    in uint64 arithmetic — no silent wrap-around before the ``mod p``.
+    """
     rng = np.random.default_rng(seed)
-    a = rng.integers(1, _MERSENNE_PRIME, size=num_permutations, dtype=np.int64)
-    b = rng.integers(0, _MERSENNE_PRIME, size=num_permutations, dtype=np.int64)
+    a = rng.integers(1, _MAX_HASH + 1, size=num_permutations, dtype=np.uint64)
+    b = rng.integers(0, _MAX_HASH + 1, size=num_permutations, dtype=np.uint64)
     return a, b
 
 
@@ -71,19 +90,80 @@ def minhash_signature(
     """Compute the MinHash signature of a collection of values.
 
     Values are rendered as lowercase strings before hashing; the signature is
-    empty (all max) for an empty input set.
+    empty (all max) for an empty input set.  This is the batch path of
+    :func:`minhash_signatures` applied to a single collection, so store and
+    query sketches can never drift apart.
+    """
+    return minhash_signatures([values], num_permutations=num_permutations, seed=seed)[0]
+
+
+#: Upper bound on ``distinct values x permutations`` products materialised at
+#: once by :func:`minhash_signatures`; keeps peak memory flat on large lakes.
+_BATCH_CELL_BUDGET = 4_000_000
+
+
+def minhash_signatures(
+    value_sets: Sequence[Iterable[object]],
+    num_permutations: int = 128,
+    seed: int = 7,
+) -> list[MinHashSignature]:
+    """Compute MinHash signatures for many value collections in one pass.
+
+    Equivalent to ``[minhash_signature(v, ...) for v in value_sets]`` but
+    amortises the expensive parts across the whole batch: distinct strings
+    repeated across columns share one digest (via the bounded
+    :func:`_stable_hash` cache, so the dedup is best-effort beyond its size),
+    and the ``(a * h + b) mod p`` permutation products are computed as
+    chunked matrix operations with a segmented min (``np.minimum.reduceat``)
+    instead of a per-column Python loop.
     """
     if num_permutations <= 0:
         raise ValueError("num_permutations must be positive")
-    distinct = {str(v).strip().lower() for v in values}
     a, b = _permutation_parameters(num_permutations, seed)
-    if not distinct:
-        return MinHashSignature(tuple([_MAX_HASH] * num_permutations), 0)
-    hashes = np.array([_stable_hash(value) for value in distinct], dtype=np.int64)
-    # (a * h + b) mod p, truncated to 32 bits — vectorised across permutations.
-    products = (np.outer(hashes, a) + b) % _MERSENNE_PRIME
-    signature = (products & _MAX_HASH).min(axis=0)
-    return MinHashSignature(tuple(int(x) for x in signature), len(distinct))
+
+    column_hashes: list[list[int]] = []
+    for values in value_sets:
+        distinct = {str(v).strip().lower() for v in values}
+        # _stable_hash is lru-cached, so values shared across columns (or
+        # with the histogram pass) are digested once per lake, not per use.
+        column_hashes.append([_stable_hash(value) for value in distinct])
+
+    empty = MinHashSignature(tuple([_MAX_HASH] * num_permutations), 0)
+    signatures: list[Optional[MinHashSignature]] = [None] * len(column_hashes)
+
+    chunk_rows = max(1, _BATCH_CELL_BUDGET // num_permutations)
+    chunk: list[int] = []          # flattened hashes of the columns in flight
+    chunk_members: list[int] = []  # column index per segment
+    chunk_offsets: list[int] = []  # segment start per column
+
+    def _flush() -> None:
+        if not chunk_members:
+            return
+        hashes = np.asarray(chunk, dtype=np.uint64)
+        # (a * h + b) mod p, truncated to 32 bits — exact: h, a, b < 2^32
+        # keep every intermediate below 2^64.
+        products = (np.outer(hashes, a) + b) % np.uint64(_MERSENNE_PRIME)
+        mins = np.minimum.reduceat(products & np.uint64(_MAX_HASH), np.asarray(chunk_offsets))
+        for row, column_index in enumerate(chunk_members):
+            signatures[column_index] = MinHashSignature(
+                tuple(int(x) for x in mins[row]),
+                len(column_hashes[column_index]),
+            )
+        chunk.clear()
+        chunk_members.clear()
+        chunk_offsets.clear()
+
+    for column_index, hashes in enumerate(column_hashes):
+        if not hashes:
+            signatures[column_index] = empty
+            continue
+        if chunk and len(chunk) + len(hashes) > chunk_rows:
+            _flush()
+        chunk_offsets.append(len(chunk))
+        chunk_members.append(column_index)
+        chunk.extend(hashes)
+    _flush()
+    return [sig if sig is not None else empty for sig in signatures]
 
 
 def estimate_jaccard(

@@ -45,6 +45,26 @@ class TestDatasetRepository:
         _, repository = lake
         assert set(repository.table_names) == {t.name for t in repository}
 
+    def test_iteration_order_is_insertion_order(self):
+        tables = [
+            tpcdi_prospect_table(num_rows=5).rename(name)
+            for name in ("zeta", "alpha", "mid")
+        ]
+        repository = DatasetRepository(tables)
+        assert repository.table_names == ["zeta", "alpha", "mid"]
+        assert [t.name for t in repository] == ["zeta", "alpha", "mid"]
+        # Re-adding keeps the original position.
+        repository.add(tables[1].rename("alpha"))
+        assert repository.table_names == ["zeta", "alpha", "mid"]
+
+    def test_add_without_overwrite_rejects_collisions(self):
+        table = tpcdi_prospect_table(num_rows=5)
+        repository = DatasetRepository([table])
+        with pytest.raises(ValueError, match="already contains"):
+            repository.add(table, overwrite=False)
+        repository.add(table)  # default still replaces silently
+        assert len(repository) == 1
+
 
 class TestDiscoveryEngine:
     def test_unionable_candidate_ranked_first(self, lake):

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sketches.minhash import MinHashSignature, estimate_jaccard, minhash_signature
+from repro.sketches.minhash import (
+    MinHashSignature,
+    estimate_jaccard,
+    minhash_signature,
+    minhash_signatures,
+)
 from repro.text.distance import jaccard_similarity
 
 
@@ -54,3 +59,64 @@ class TestMinHashSignature:
         signature_small = minhash_signature(small, num_permutations=256)
         signature_large = minhash_signature(large, num_permutations=256)
         assert signature_small.containment(signature_large) >= 0.7
+
+
+class TestBatchSignatures:
+    def test_batch_equals_per_column(self):
+        columns = [
+            [f"v_{i}" for i in range(80)],
+            [],
+            [f"v_{i}" for i in range(40, 120)],
+            [1, 2, 3, "Apple ", "apple"],
+            ["only"],
+        ]
+        batch = minhash_signatures(columns, num_permutations=64, seed=11)
+        singles = [
+            minhash_signature(column, num_permutations=64, seed=11)
+            for column in columns
+        ]
+        assert batch == singles
+
+    def test_batch_chunks_large_inputs(self, monkeypatch):
+        """Force tiny chunks so several flushes happen within one call."""
+        import repro.sketches.minhash as module
+
+        monkeypatch.setattr(module, "_BATCH_CELL_BUDGET", 64)
+        columns = [[f"c{i}_{j}" for j in range(10)] for i in range(9)]
+        batch = minhash_signatures(columns, num_permutations=16)
+        singles = [minhash_signature(column, num_permutations=16) for column in columns]
+        assert batch == singles
+
+    def test_matches_independent_reference_implementation(self):
+        """Guard the vectorised core against regressions with plain-int math.
+
+        ``minhash_signature`` delegates to the batch path, so batch-vs-single
+        comparisons alone cannot catch a bug in the shared implementation.
+        """
+        import repro.sketches.minhash as module
+
+        values = [f"v_{i}" for i in range(30)] + [1, 2.5, " Mixed Case "]
+        num_permutations, seed = 32, 11
+        a, b = module._permutation_parameters(num_permutations, seed)
+        distinct = {str(v).strip().lower() for v in values}
+        hashes = [module._stable_hash(v) for v in distinct]
+        expected = tuple(
+            min(
+                ((int(a[k]) * h + int(b[k])) % module._MERSENNE_PRIME)
+                & module._MAX_HASH
+                for h in hashes
+            )
+            for k in range(num_permutations)
+        )
+        signature = minhash_signature(
+            values, num_permutations=num_permutations, seed=seed
+        )
+        assert signature.values == expected
+        assert signature.set_size == len(distinct)
+
+    def test_batch_rejects_invalid_permutations(self):
+        with pytest.raises(ValueError):
+            minhash_signatures([["x"]], num_permutations=0)
+
+    def test_empty_batch(self):
+        assert minhash_signatures([]) == []

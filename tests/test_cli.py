@@ -65,6 +65,86 @@ class TestCommands:
         output = capsys.readouterr().out
         assert len(output.strip().splitlines()) == 2
 
+    def test_lake_build_and_query(self, tmp_path, capsys):
+        lake_dir = tmp_path / "lake"
+        lake_dir.mkdir()
+        write_csv(
+            Table("cities", {"city": ["delft", "leiden", "gouda"], "pop": [1, 2, 3]}),
+            lake_dir / "cities.csv",
+        )
+        write_csv(
+            Table("towns", {"town": ["delft", "gouda", "utrecht"], "size": [3, 4, 5]}),
+            lake_dir / "towns.csv",
+        )
+        store = tmp_path / "lake.sketches"
+        assert main(["lake", "build", str(lake_dir), "--store", str(store)]) == 0
+        assert "2 tables sketched" in capsys.readouterr().out
+        # Rebuilding over unchanged CSVs is all cache hits.
+        assert main(["lake", "build", str(lake_dir), "--store", str(store)]) == 0
+        assert "2 unchanged" in capsys.readouterr().out
+
+        query_path = write_csv(
+            Table("query", {"place": ["delft", "gouda"], "n": [7, 8]}),
+            tmp_path / "query.csv",
+        )
+        exit_code = main(
+            ["lake", "query", str(query_path), "--store", str(store), "--top", "2"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "join=" in output and ("cities" in output or "towns" in output)
+
+    def test_lake_build_prune_drops_deleted_csvs(self, tmp_path, capsys):
+        lake_dir = tmp_path / "lake"
+        lake_dir.mkdir()
+        write_csv(Table("keep", {"a": [1, 2, 3]}), lake_dir / "keep.csv")
+        doomed = write_csv(Table("doomed", {"b": [4, 5, 6]}), lake_dir / "doomed.csv")
+        store = tmp_path / "lake.sketches"
+        assert main(["lake", "build", str(lake_dir), "--store", str(store)]) == 0
+        capsys.readouterr()
+        doomed.unlink()
+        assert main(["lake", "build", str(lake_dir), "--store", str(store), "--prune"]) == 0
+        assert "1 pruned" in capsys.readouterr().out
+
+    def test_lake_build_skips_unreadable_csvs(self, tmp_path, capsys):
+        lake_dir = tmp_path / "lake"
+        lake_dir.mkdir()
+        write_csv(Table("good", {"a": [1, 2, 3]}), lake_dir / "good.csv")
+        (lake_dir / "bad.csv").write_bytes(b"\xff\xfe not utf8 \xff")
+        store = tmp_path / "lake.sketches"
+        assert main(["lake", "build", str(lake_dir), "--store", str(store)]) == 0
+        captured = capsys.readouterr()
+        assert "1 tables sketched" in captured.out
+        assert "1 unreadable (skipped)" in captured.out
+        assert "bad.csv" in captured.err
+
+    def test_lake_store_refuses_foreign_sqlite_db(self, tmp_path, capsys):
+        import sqlite3
+
+        foreign = tmp_path / "app.db"
+        with sqlite3.connect(foreign) as conn:
+            conn.execute("CREATE TABLE users (id INTEGER PRIMARY KEY)")
+        lake_dir = tmp_path / "lake"
+        lake_dir.mkdir()
+        write_csv(Table("t", {"a": [1]}), lake_dir / "t.csv")
+        assert main(["lake", "build", str(lake_dir), "--store", str(foreign)]) == 1
+        assert "not a sketch store" in capsys.readouterr().err
+        with sqlite3.connect(foreign) as conn:
+            tables = {r[0] for r in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )}
+        assert tables == {"users"}  # untouched
+
+    def test_lake_query_without_store_fails(self, tmp_path, capsys):
+        query_path = write_csv(
+            Table("query", {"a": [1, 2]}), tmp_path / "query.csv"
+        )
+        exit_code = main(
+            ["lake", "query", str(query_path), "--store", str(tmp_path / "missing")]
+        )
+        assert exit_code == 1
+        assert "lake build" in capsys.readouterr().err
+
     def test_run_command_small(self, capsys, tmp_path):
         exit_code = main(
             [
