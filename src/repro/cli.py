@@ -32,7 +32,7 @@ from repro.experiments.reports import (
 )
 from repro.experiments.runner import ExperimentRunner
 from repro.fabrication import FabricationConfig, Fabricator, Scenario
-from repro.matchers.registry import matcher_class
+from repro.matchers.registry import create_matcher
 
 __all__ = ["main", "build_parser"]
 
@@ -96,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--method", default="ComaSchema", help="registered matcher name")
     query.add_argument("--top", type=int, default=10, help="number of tables to report")
     query.add_argument("--parallel", action="store_true", help="rerank in a process pool")
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size; implies --parallel (default: executor's choice)",
+    )
 
     return parser
 
@@ -148,7 +154,7 @@ def _command_run(
 def _command_match(source_csv: Path, target_csv: Path, method: str, top: int) -> int:
     source = read_csv(source_csv)
     target = read_csv(target_csv)
-    matcher = matcher_class(method)()
+    matcher = create_matcher(method)
     result = matcher.get_matches(source, target)
     for match in result.top_k(top):
         print(f"{match.score:.3f}  {match.source}  ~  {match.target}")
@@ -200,7 +206,13 @@ def _command_lake_build(input_dir: Path, store_path: Path, prune: bool) -> int:
 
 
 def _command_lake_query(
-    query_csv: Path, store_path: Path, mode: str, method: str, top: int, parallel: bool
+    query_csv: Path,
+    store_path: Path,
+    mode: str,
+    method: str,
+    top: int,
+    parallel: bool,
+    workers: int | None,
 ) -> int:
     from repro.lake import LakeDiscoveryEngine, SketchStore
 
@@ -214,8 +226,14 @@ def _command_lake_query(
         print(str(exc), file=sys.stderr)
         return 1
     with store:
-        engine = LakeDiscoveryEngine(matcher=matcher_class(method)(), store=store)
-        results = engine.query(query, mode=mode, top_k=top, parallel=parallel)
+        engine = LakeDiscoveryEngine(matcher=create_matcher(method), store=store)
+        results = engine.query(
+            query,
+            mode=mode,
+            top_k=top,
+            parallel=parallel or workers is not None,
+            max_workers=workers,
+        )
         print(
             f"query {query.name!r} against {len(store)} tables "
             f"({engine.last_rerank_count} candidates reranked with {method})"
@@ -248,7 +266,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.lake_command == "build":
             return _command_lake_build(args.input, args.store, args.prune)
         return _command_lake_query(
-            args.query_csv, args.store, args.mode, args.method, args.top, args.parallel
+            args.query_csv,
+            args.store,
+            args.mode,
+            args.method,
+            args.top,
+            args.parallel,
+            args.workers,
         )
     parser.error(f"unknown command {args.command!r}")
     return 2

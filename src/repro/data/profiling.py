@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.data.table import Column, Table
-from repro.data.types import DataType
+from repro.data.types import DataType, parse_numeric_values
 
 __all__ = ["ColumnProfile", "profile_column", "profile_table"]
 
@@ -63,14 +63,32 @@ class ColumnProfile:
         return 1.0 - (self.missing_count / self.row_count) if self.row_count else 0.0
 
 
-def profile_column(column: Column) -> ColumnProfile:
-    """Compute a :class:`ColumnProfile` for *column*."""
-    non_missing = column.non_missing()
-    distinct = len(column.unique_values())
+def profile_column(
+    column: Column,
+    *,
+    non_missing: Optional[list] = None,
+    distinct_count: Optional[int] = None,
+) -> ColumnProfile:
+    """Compute a :class:`ColumnProfile` for *column*.
+
+    Parameters
+    ----------
+    column:
+        The column to profile.
+    non_missing / distinct_count:
+        Optionally pass the precomputed non-missing values and distinct
+        count so callers that already scanned the column (e.g.
+        :func:`repro.lake.profiles.sketch_table`, which also feeds the same
+        scan to the MinHash and histogram passes) don't trigger another
+        traversal.  Results are identical either way.
+    """
+    if non_missing is None:
+        non_missing = column.non_missing()
+    distinct = len(column.unique_values()) if distinct_count is None else distinct_count
     missing = len(column) - len(non_missing)
     mean = std = minimum = maximum = None
     if column.data_type.is_numeric:
-        numbers = column.numeric_values()
+        numbers = parse_numeric_values(non_missing)
         if numbers:
             mean = sum(numbers) / len(numbers)
             variance = sum((x - mean) ** 2 for x in numbers) / len(numbers)

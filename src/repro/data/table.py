@@ -12,7 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
-from repro.data.types import DataType, coerce_value, infer_column_type, is_missing
+from repro.data.types import (
+    DataType,
+    coerce_value,
+    infer_column_type,
+    is_missing,
+    parse_numeric_values,
+)
 
 __all__ = ["Column", "Table", "ColumnRef"]
 
@@ -96,13 +102,7 @@ class Column:
         Non-convertible cells are skipped, which makes the method safe on
         noisy fabricated data.
         """
-        result: list[float] = []
-        for value in self.non_missing():
-            try:
-                result.append(float(str(value)))
-            except (TypeError, ValueError):
-                continue
-        return result
+        return parse_numeric_values(self.non_missing())
 
     def missing_count(self) -> int:
         """Number of missing cells."""

@@ -22,8 +22,25 @@ __all__ = [
     "infer_column_type",
     "coerce_value",
     "is_missing",
+    "parse_numeric_values",
     "type_compatibility",
 ]
+
+
+def parse_numeric_values(values: Iterable[object]) -> list[float]:
+    """Float-convertible values of a collection; non-convertible are skipped.
+
+    The single implementation behind ``Column.numeric_values`` and the
+    profiler's precomputed-scan path, so their skipping rules can never
+    drift apart.
+    """
+    result: list[float] = []
+    for value in values:
+        try:
+            result.append(float(str(value)))
+        except (TypeError, ValueError):
+            continue
+    return result
 
 
 class DataType(str, Enum):

@@ -1,8 +1,15 @@
 """Dataset discovery layer: table-level relatedness, repository search, feedback."""
 
 from repro.discovery.feedback import FeedbackDecision, FeedbackSession
+from repro.discovery.prepared import PreparedTableCache
 from repro.discovery.relatedness import RelatednessScores, joinability, relatedness, unionability
-from repro.discovery.search import DatasetRepository, DiscoveryEngine, DiscoveryResult
+from repro.discovery.search import (
+    DatasetRepository,
+    DiscoveryEngine,
+    DiscoveryResult,
+    PairScorer,
+    prune_then_rerank,
+)
 
 __all__ = [
     "RelatednessScores",
@@ -12,6 +19,9 @@ __all__ = [
     "DatasetRepository",
     "DiscoveryEngine",
     "DiscoveryResult",
+    "PairScorer",
+    "PreparedTableCache",
+    "prune_then_rerank",
     "FeedbackDecision",
     "FeedbackSession",
 ]

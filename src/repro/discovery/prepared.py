@@ -1,0 +1,89 @@
+"""LRU cache of prepared tables for the two-phase matcher protocol.
+
+:meth:`BaseMatcher.prepare <repro.matchers.base.BaseMatcher.prepare>` is the
+per-table half of matching — tokenised names, value sets, sketches, schema
+trees.  Within one discovery query the engines already prepare the query
+exactly once; this cache extends the amortisation *across* queries and —
+on serial reranks — across repeated candidates: repository tables that
+appear in many shortlists, or a dashboard that re-runs similar queries, hit
+the cache instead of re-preparing.  (Parallel reranks prepare candidates in
+worker processes, which cannot see this in-process cache; only the query is
+served from it there.)
+
+Entries are keyed by ``(matcher fingerprint, table name, content hash)``:
+
+* the **matcher fingerprint** (:meth:`BaseMatcher.fingerprint`) ties a
+  payload to the exact matcher class *and configuration* that produced it —
+  changing a threshold yields a different fingerprint and a cache miss;
+* the **table name** keeps same-content tables distinct — lakes routinely
+  hold identical copies under different names, and match results carry the
+  table name in their column refs;
+* the **content hash** (:func:`repro.data.fingerprint.table_content_hash`)
+  ties the entry to the table's full schema + cell content, so mutated
+  tables can never serve stale artifacts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.data.fingerprint import table_content_hash
+from repro.data.table import Table
+from repro.matchers.base import BaseMatcher, PreparedTable
+
+__all__ = ["PreparedTableCache"]
+
+
+@dataclass
+class PreparedTableCache:
+    """Bounded LRU cache of :class:`PreparedTable` bundles.
+
+    Attributes
+    ----------
+    max_entries:
+        Maximum number of prepared tables kept (least recently used entries
+        are evicted first).  Payload sizes vary wildly across matchers, so
+        the bound is on entry count, not bytes.
+    """
+
+    max_entries: int = 128
+    hits: int = field(default=0, init=False)
+    misses: int = field(default=0, init=False)
+    _entries: "OrderedDict[tuple[str, str, str], PreparedTable]" = field(
+        default_factory=OrderedDict, repr=False, init=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+
+    def prepare(self, matcher: BaseMatcher, table: Table) -> PreparedTable:
+        """Return ``matcher.prepare(table)``, served from cache when possible."""
+        key = (matcher.fingerprint(), table.name, table_content_hash(table))
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        prepared = matcher.prepare(table)
+        self._entries[key] = prepared
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return prepared
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of :meth:`prepare` calls served from cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

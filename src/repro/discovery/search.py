@@ -4,24 +4,48 @@ This is "Valentine as a Discovery Component" (Section II-B) turned into an
 API: a :class:`DatasetRepository` holds candidate tables, and
 :class:`DiscoveryEngine` ranks them against a query table by joinability or
 unionability using any bundled matcher.
+
+Every discovery query — brute force, index-pruned, or lake-scale — runs
+through one shared **prune-then-rerank core**, :func:`prune_then_rerank`:
+
+1. *prune* — the caller supplies candidate table names (the whole repository,
+   or an index shortlist) and an injectable ``resolve`` strategy that turns a
+   name into a :class:`~repro.data.table.Table` (in-memory lookup, or lazy
+   CSV loading);
+2. *rerank* — the query table is **prepared exactly once**
+   (:meth:`BaseMatcher.prepare <repro.matchers.base.BaseMatcher.prepare>`)
+   and streamed through
+   :meth:`~repro.matchers.base.BaseMatcher.match_prepared` against every
+   resolved candidate, serially or in a process pool whose workers receive
+   the prepared query once via the pool initializer (not once per
+   candidate).
+
+:class:`DiscoveryEngine` and
+:class:`~repro.lake.engine.LakeDiscoveryEngine` are thin parameterisations
+of this core, so their rankings can never drift apart.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional, Union
 
 from repro.data.table import Table
+from repro.discovery.prepared import PreparedTableCache
 from repro.discovery.relatedness import RelatednessScores, relatedness
-from repro.matchers.base import BaseMatcher, MatchResult
+from repro.matchers.base import BaseMatcher, MatchResult, PreparedTable
 
 __all__ = [
     "DatasetRepository",
     "DiscoveryResult",
     "DiscoveryEngine",
+    "PairScorer",
+    "prune_then_rerank",
     "sort_discovery_results",
     "DEFAULT_MIN_CANDIDATES",
     "DEFAULT_CANDIDATE_MULTIPLIER",
+    "DEFAULT_UNION_THRESHOLD",
 ]
 
 #: Default shortlist slack for index-pruned discovery: an exact top-k query
@@ -31,6 +55,11 @@ __all__ = [
 #: :class:`~repro.lake.engine.LakeDiscoveryEngine`.
 DEFAULT_MIN_CANDIDATES = 20
 DEFAULT_CANDIDATE_MULTIPLIER = 5
+
+#: Default column-score threshold of the unionability measure, shared by
+#: :class:`PairScorer` and both discovery engines so the three defaults can
+#: never drift apart.
+DEFAULT_UNION_THRESHOLD = 0.55
 
 
 class DatasetRepository:
@@ -119,6 +148,158 @@ def sort_discovery_results(results: list[DiscoveryResult], mode: str) -> None:
 
 
 @dataclass
+class PairScorer:
+    """Scores one (query, candidate) pair; the shared rerank unit.
+
+    Both discovery engines delegate pair scoring here so their rankings can
+    never drift.  The scorer is picklable (matcher configs are plain
+    attributes), which is what lets the parallel rerank ship it to worker
+    processes through the pool initializer.
+    """
+
+    matcher: BaseMatcher
+    union_threshold: float = DEFAULT_UNION_THRESHOLD
+
+    def score_prepared(
+        self, query: PreparedTable, candidate: Union[Table, PreparedTable]
+    ) -> DiscoveryResult:
+        """Match a *prepared* query against one candidate table."""
+        if self.matcher.prefers_legacy_get_matches():
+            # A subclass overrode get_matches below the prepared pipeline
+            # (e.g. to post-process scores): honour it rather than silently
+            # bypassing the override through match_prepared.
+            candidate_table = (
+                candidate.table if isinstance(candidate, PreparedTable) else candidate
+            )
+            matches = self.matcher.get_matches(query.table, candidate_table)
+            scores = relatedness(matches, query.table, threshold=self.union_threshold)
+            return DiscoveryResult(
+                table_name=candidate_table.name, scores=scores, matches=matches
+            )
+        candidate_prepared = self.matcher._ensure_prepared(candidate)
+        matches = self.matcher.match_prepared(query, candidate_prepared)
+        scores = relatedness(matches, query.table, threshold=self.union_threshold)
+        return DiscoveryResult(
+            table_name=candidate_prepared.table.name, scores=scores, matches=matches
+        )
+
+    def score_pair(self, query: Table, candidate: Table) -> DiscoveryResult:
+        """Match a raw query against one candidate (prepares the query too)."""
+        return self.score_prepared(self.matcher.prepare(query), candidate)
+
+
+# Per-worker state of the parallel rerank: the scorer and the prepared query
+# are shipped ONCE per worker through the pool initializer instead of being
+# pickled into every task (``pool.map`` used to re-send the query table once
+# per candidate).
+_WORKER_SCORER: Optional[PairScorer] = None
+_WORKER_QUERY: Optional[PreparedTable] = None
+
+
+def _rerank_worker_init(scorer: PairScorer, query: PreparedTable) -> None:
+    global _WORKER_SCORER, _WORKER_QUERY
+    _WORKER_SCORER = scorer
+    _WORKER_QUERY = query
+
+
+def _rerank_worker_score(candidate: Table) -> DiscoveryResult:
+    assert _WORKER_SCORER is not None and _WORKER_QUERY is not None
+    return _WORKER_SCORER.score_prepared(_WORKER_QUERY, candidate)
+
+
+def prune_then_rerank(
+    query: Table,
+    candidate_names: Iterable[str],
+    resolve: Callable[[str], Optional[Table]],
+    scorer: PairScorer,
+    mode: str = "joinable",
+    top_k: Optional[int] = None,
+    *,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    prepared_cache: Optional[PreparedTableCache] = None,
+) -> tuple[list[DiscoveryResult], int]:
+    """The discovery core shared by every engine: resolve, rerank, sort.
+
+    Parameters
+    ----------
+    query:
+        The input table (prepared exactly once for the whole rerank).
+    candidate_names:
+        Pruned candidate table names — the whole repository for brute-force
+        search, an LSH shortlist for indexed search.  The query's own name
+        is always skipped.
+    resolve:
+        Injectable resolution strategy turning a name into a table
+        (repository lookup, lazy CSV read...).  Returning ``None`` drops the
+        candidate (it cannot be ranked without values).
+    scorer:
+        The pair scorer (matcher + unionability threshold).
+    mode:
+        ``"joinable"``, ``"unionable"`` or ``"combined"``.
+    top_k:
+        Optionally truncate the final ranking.
+    parallel / max_workers:
+        Rerank in a process pool.  Workers receive the scorer and the
+        prepared query once each via the pool initializer.
+    prepared_cache:
+        Optional :class:`~repro.discovery.prepared.PreparedTableCache`; when
+        given, the query's prepared table — and, on the serial path, every
+        candidate's — is served from / stored into it.  (Parallel reranks
+        prepare candidates inside worker processes, which cannot see the
+        parent's cache.)
+
+    Returns
+    -------
+    ``(ranked results, rerank count)`` where the count is the number of
+    candidates the matcher actually scored (the pruning statistic, before
+    top-k truncation).
+    """
+    if mode not in ("joinable", "unionable", "combined"):
+        raise ValueError(f"unknown discovery mode {mode!r}")
+    candidates: list[Table] = []
+    for name in candidate_names:
+        if name == query.name:
+            continue
+        table = resolve(name)
+        if table is not None:
+            candidates.append(table)
+    if prepared_cache is not None:
+        query_prepared = prepared_cache.prepare(scorer.matcher, query)
+    else:
+        query_prepared = scorer.matcher.prepare(query)
+    if parallel and len(candidates) > 1:
+        # Candidates are prepared inside the workers; the (parent-process)
+        # prepared cache only serves the query on this path.
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_rerank_worker_init,
+            initargs=(scorer, query_prepared),
+        ) as pool:
+            results = list(pool.map(_rerank_worker_score, candidates))
+    else:
+        # Candidate-side caching only pays off when the matcher actually
+        # consumes prepared payloads; a legacy get_matches override discards
+        # them, so skip the per-candidate content hashing for those.
+        cache_candidates = (
+            prepared_cache is not None
+            and not scorer.matcher.prefers_legacy_get_matches()
+        )
+        results = [
+            scorer.score_prepared(
+                query_prepared,
+                prepared_cache.prepare(scorer.matcher, candidate)
+                if cache_candidates
+                else candidate,
+            )
+            for candidate in candidates
+        ]
+    sort_discovery_results(results, mode)
+    truncated = results[:top_k] if top_k is not None else results
+    return truncated, len(candidates)
+
+
+@dataclass
 class DiscoveryEngine:
     """Ranks repository tables against a query table using a column matcher.
 
@@ -128,16 +309,21 @@ class DiscoveryEngine:
         Any :class:`~repro.matchers.base.BaseMatcher`.
     union_threshold:
         Column-score threshold used by the unionability measure.
+    prepared_cache:
+        Optional :class:`~repro.discovery.prepared.PreparedTableCache`
+        reusing prepared query tables across :meth:`discover` calls.
     """
 
     matcher: BaseMatcher
-    union_threshold: float = 0.55
+    union_threshold: float = DEFAULT_UNION_THRESHOLD
+    prepared_cache: Optional[PreparedTableCache] = None
+
+    def _scorer(self) -> PairScorer:
+        return PairScorer(matcher=self.matcher, union_threshold=self.union_threshold)
 
     def score_pair(self, query: Table, candidate: Table) -> DiscoveryResult:
         """Match *query* against one *candidate* and derive table-level scores."""
-        matches = self.matcher.get_matches(query, candidate)
-        scores = relatedness(matches, query, threshold=self.union_threshold)
-        return DiscoveryResult(table_name=candidate.name, scores=scores, matches=matches)
+        return self._scorer().score_pair(query, candidate)
 
     def discover(
         self,
@@ -147,6 +333,8 @@ class DiscoveryEngine:
         top_k: Optional[int] = None,
         index: Optional[object] = None,
         candidate_limit: Optional[int] = None,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
     ) -> list[DiscoveryResult]:
         """Rank repository tables against *query*.
 
@@ -172,23 +360,28 @@ class DiscoveryEngine:
             ``max(DEFAULT_MIN_CANDIDATES, DEFAULT_CANDIDATE_MULTIPLIER *
             top_k)`` so the exact matcher has slack to repair sketch-level
             ranking mistakes (unbounded when neither is set).
+        parallel / max_workers:
+            Rerank candidates in a process pool (workers receive the
+            prepared query once each).
         """
-        if mode not in ("joinable", "unionable", "combined"):
-            raise ValueError(f"unknown discovery mode {mode!r}")
         if index is not None:
             limit = candidate_limit
             if limit is None and top_k is not None:
                 limit = max(
                     DEFAULT_MIN_CANDIDATES, DEFAULT_CANDIDATE_MULTIPLIER * top_k
                 )
-            names = index.shortlist(query, limit)
-            candidates = [
-                table
-                for table in (repository.get(name) for name in names)
-                if table is not None and table.name != query.name
-            ]
+            names: Iterable[str] = index.shortlist(query, limit)
         else:
-            candidates = [c for c in repository if c.name != query.name]
-        results = [self.score_pair(query, candidate) for candidate in candidates]
-        sort_discovery_results(results, mode)
-        return results[:top_k] if top_k is not None else results
+            names = repository.table_names
+        results, _ = prune_then_rerank(
+            query,
+            names,
+            repository.get,
+            self._scorer(),
+            mode=mode,
+            top_k=top_k,
+            parallel=parallel,
+            max_workers=max_workers,
+            prepared_cache=self.prepared_cache,
+        )
+        return results

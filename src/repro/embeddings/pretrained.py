@@ -73,6 +73,17 @@ class PretrainedEmbeddings:
             self._anchor_vectors[group_id] = vector
             for token in group:
                 self._anchor_of[token.lower()] = group_id
+        # Embeddings are pure functions of (config, input): memoise them.
+        # SemProp re-embeds the same ontology aliases for every column of
+        # every table it links, so without these caches the per-table prepare
+        # cost is dominated by redundant n-gram hashing.  Bounded so a
+        # long-lived process sketching arbitrary text cannot grow without
+        # limit; cached arrays are frozen because callers share them.
+        self._vector_cache: dict[str, np.ndarray] = {}
+        self._text_cache: dict[str, np.ndarray] = {}
+
+    #: Upper bound on entries kept per memoisation cache.
+    _CACHE_LIMIT = 1 << 16
 
     def _hash_vector(self, text: str) -> np.ndarray:
         """Deterministic pseudo-random unit vector derived from *text*."""
@@ -84,10 +95,13 @@ class PretrainedEmbeddings:
         return vector / norm if norm else vector
 
     def vector(self, token: str) -> np.ndarray:
-        """Return the embedding of a single token (never fails)."""
+        """Return the embedding of a single token (never fails; memoised)."""
         token = str(token).strip().lower()
         if not token:
             return np.zeros(self.dimensions)
+        cached = self._vector_cache.get(token)
+        if cached is not None:
+            return cached
         pieces = [self._hash_vector(token)]
         for size in self.ngram_sizes:
             for gram in character_ngrams(token, n=size, pad=True):
@@ -97,17 +111,64 @@ class PretrainedEmbeddings:
         if anchor_id is not None:
             vector = 0.4 * vector + 0.6 * self._anchor_vectors[anchor_id]
         norm = np.linalg.norm(vector)
-        return vector / norm if norm else vector
+        vector = vector / norm if norm else vector
+        if len(self._vector_cache) < self._CACHE_LIMIT:
+            vector.flags.writeable = False
+            self._vector_cache[token] = vector
+        return vector
 
     def text_vector(self, text: str) -> np.ndarray:
-        """Average token embedding of arbitrary text (identifier or cell value)."""
+        """Average token embedding of arbitrary text (identifier or cell value).
+
+        Memoised: SemProp compares every column name against every ontology
+        alias, so the same identifiers recur constantly.
+        """
+        key = str(text)
+        cached = self._text_cache.get(key)
+        if cached is not None:
+            return cached
         tokens = word_tokens(text)
         if not tokens:
-            return np.zeros(self.dimensions)
-        vectors = [self.vector(token) for token in tokens]
-        vector = np.mean(vectors, axis=0)
-        norm = np.linalg.norm(vector)
-        return vector / norm if norm else vector
+            vector = np.zeros(self.dimensions)
+        else:
+            vectors = [self.vector(token) for token in tokens]
+            vector = np.mean(vectors, axis=0)
+            norm = np.linalg.norm(vector)
+            vector = vector / norm if norm else vector
+        if len(self._text_cache) < self._CACHE_LIMIT:
+            vector.flags.writeable = False
+            self._text_cache[key] = vector
+        return vector
+
+    def fingerprint(self) -> str:
+        """Short content-based digest of the embedder configuration.
+
+        Covers dimensionality, n-gram sizes and the anchor groups — the full
+        definition of the (deterministic) embedding function — so matchers
+        can fold it into their configuration fingerprint.  Cached: the
+        configuration is immutable after construction and matchers consult
+        this on the per-candidate hot path.
+        """
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is None:
+            payload = repr(
+                (self.dimensions, self.ngram_sizes, sorted(self._anchor_of.items()))
+            )
+            cached = hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
+            self._fingerprint_cache = cached
+        return cached
+
+    def __getstate__(self) -> dict:
+        """Drop the memoisation caches when pickling.
+
+        The parallel rerank ships matchers (and therefore this embedder) to
+        every pool worker; a warm cache can hold tens of MB of vectors the
+        workers rebuild cheaply on demand.
+        """
+        state = self.__dict__.copy()
+        state["_vector_cache"] = {}
+        state["_text_cache"] = {}
+        return state
 
     def similarity(self, text_a: str, text_b: str) -> float:
         """Cosine similarity of two texts' average embeddings, in [-1, 1]."""

@@ -14,24 +14,32 @@
 The candidate tables' *values* come either from an in-memory
 :class:`DatasetRepository` or lazily from the CSV paths recorded in the
 store at build time — only shortlisted tables are ever loaded from disk.
+
+Both stages execute through the shared
+:func:`~repro.discovery.search.prune_then_rerank` core: this engine merely
+injects its LSH shortlist as the pruning strategy and its lazy CSV loading
+as the resolution strategy.  The query table is prepared once per query
+(:meth:`BaseMatcher.prepare`) and — on the parallel path — shipped once per
+worker via the pool initializer rather than pickled per candidate.
 """
 
 from __future__ import annotations
 
 import csv
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
 
 from repro.data.csv_io import read_csv
 from repro.data.table import Table
+from repro.discovery.prepared import PreparedTableCache
 from repro.discovery.search import (
     DEFAULT_CANDIDATE_MULTIPLIER,
     DEFAULT_MIN_CANDIDATES,
+    DEFAULT_UNION_THRESHOLD,
     DatasetRepository,
-    DiscoveryEngine,
+    PairScorer,
     DiscoveryResult,
-    sort_discovery_results,
+    prune_then_rerank,
 )
 from repro.lake.index import CandidateTable, LakeIndex, LSHParams
 from repro.lake.profiles import sketch_table
@@ -59,14 +67,18 @@ class LakeDiscoveryEngine:
         Shortlist size for a ``top_k`` query is
         ``max(min_candidates, candidate_multiplier * top_k)`` — the slack is
         what lets the exact matcher repair sketch-level ranking mistakes.
+    prepared_cache:
+        Optional :class:`~repro.discovery.prepared.PreparedTableCache`
+        reusing prepared query tables across :meth:`query` calls.
     """
 
     matcher: BaseMatcher
     store: SketchStore
     params: LSHParams = field(default_factory=LSHParams)
-    union_threshold: float = 0.55
+    union_threshold: float = DEFAULT_UNION_THRESHOLD
     candidate_multiplier: int = DEFAULT_CANDIDATE_MULTIPLIER
     min_candidates: int = DEFAULT_MIN_CANDIDATES
+    prepared_cache: Optional[PreparedTableCache] = None
     #: How many candidates the matcher actually reranked in the last
     #: :meth:`query` (before top-k truncation) — the pruning statistic.
     last_rerank_count: int = field(default=0, repr=False, init=False)
@@ -176,30 +188,17 @@ class LakeDiscoveryEngine:
         max_workers:
             Pool size for the parallel path (default: executor's choice).
         """
-        if mode not in ("joinable", "unionable", "combined"):
-            raise ValueError(f"unknown discovery mode {mode!r}")
         shortlist = self.shortlist(query, top_k=top_k)
-        candidates: list[Table] = []
-        for entry in shortlist:
-            if entry.table_name == query.name:
-                continue
-            table = self._resolve_candidate(entry.table_name, repository)
-            if table is not None:
-                candidates.append(table)
-        self.last_rerank_count = len(candidates)
-        # Delegate pair scoring to the brute-force engine so both engines can
-        # never drift; the bound method pickles fine for the process pool.
-        scorer = DiscoveryEngine(
-            matcher=self.matcher, union_threshold=self.union_threshold
+        results, rerank_count = prune_then_rerank(
+            query,
+            [entry.table_name for entry in shortlist],
+            lambda name: self._resolve_candidate(name, repository),
+            PairScorer(matcher=self.matcher, union_threshold=self.union_threshold),
+            mode=mode,
+            top_k=top_k,
+            parallel=parallel,
+            max_workers=max_workers,
+            prepared_cache=self.prepared_cache,
         )
-        if parallel and len(candidates) > 1:
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                results = list(
-                    pool.map(
-                        scorer.score_pair, [query] * len(candidates), candidates
-                    )
-                )
-        else:
-            results = [scorer.score_pair(query, candidate) for candidate in candidates]
-        sort_discovery_results(results, mode)
-        return results[:top_k] if top_k is not None else results
+        self.last_rerank_count = rerank_count
+        return results

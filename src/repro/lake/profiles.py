@@ -12,10 +12,10 @@ reused by every subsequent query, which is what turns discovery from
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
+from repro.data.fingerprint import table_content_hash
 from repro.data.profiling import ColumnProfile, profile_column
 from repro.data.table import Column, Table
 from repro.data.types import DataType, type_compatibility
@@ -73,10 +73,16 @@ def _hash_rank(value: object) -> int:
     return _stable_hash(str(value).strip().lower()) % _HASH_RANK_DOMAIN
 
 
-def _hash_space_histogram(column: Column, num_buckets: int) -> tuple[float, ...]:
-    """Histogram of the column's value multiset over the hashed rank domain."""
-    values = column.non_missing()
-    ranks = {value: _hash_rank(value) for value in set(values)}
+def _hash_space_histogram(
+    values: list, distinct: set, num_buckets: int
+) -> tuple[float, ...]:
+    """Histogram of a value multiset over the hashed rank domain.
+
+    *values* are the column's non-missing cells and *distinct* their set —
+    passed in so the caller's single column scan is shared with the MinHash
+    and profile passes.
+    """
+    ranks = {value: _hash_rank(value) for value in distinct}
     histogram = build_histogram(
         values, ranks, num_buckets=num_buckets, max_rank=_HASH_RANK_DOMAIN - 1
     )
@@ -214,36 +220,6 @@ class TableSketch:
         raise KeyError(f"table sketch {self.name!r} has no column {name!r}")
 
 
-def table_content_hash(table: Table) -> str:
-    """Deterministic digest of a table's schema and cell values.
-
-    The store keys cache invalidation on this hash: re-adding a table whose
-    content is unchanged is a no-op, while any cell/schema change produces a
-    different digest and triggers re-sketching.
-    """
-    hasher = hashlib.blake2b(digest_size=16)
-
-    def _update(payload: bytes) -> None:
-        # Length-prefix every field so adjacent values can never be confused
-        # with one longer value (or a None with a literal sentinel string).
-        hasher.update(len(payload).to_bytes(8, "little"))
-        hasher.update(payload)
-
-    # Encode the shape too: without the column/row counts a 1x4 table and a
-    # 2x1 table with the same flat value stream would collide.
-    hasher.update(table.num_columns.to_bytes(8, "little"))
-    for column in table.columns:
-        _update(column.name.encode("utf-8"))
-        _update(column.data_type.value.encode("utf-8"))
-        hasher.update(len(column.values).to_bytes(8, "little"))
-        for value in column.values:
-            if value is None:
-                hasher.update(b"\xff" * 8)  # length no real payload can have
-            else:
-                _update(str(value).encode("utf-8"))
-    return hasher.hexdigest()
-
-
 def sketch_table(
     table: Table,
     config: SketchConfig = SketchConfig(),
@@ -262,15 +238,29 @@ def sketch_table(
         consulted.  Computed on demand when omitted.
     """
     columns = table.columns
+    # One non-missing/distinct scan per column, shared by all three passes
+    # (minhash, profile, histogram) — previously each pass re-traversed the
+    # raw cells.
+    scans = []
+    for column in columns:
+        values = column.non_missing()
+        distinct = set(values)
+        scans.append((values, distinct))
+    # The signatures hash the normalised *distinct* values; handing over the
+    # distinct set (instead of the raw cells) skips the third full-column
+    # traversal — minhash_signatures normalises and dedups its input anyway,
+    # and a set of distinct raws yields the identical normalised string set.
     signatures = minhash_signatures(
-        [column.non_missing() for column in columns],
+        [distinct for _, distinct in scans],
         num_permutations=config.num_permutations,
         seed=config.seed,
     )
     sketches = []
-    for column, signature in zip(columns, signatures):
-        profile = profile_column(column)
-        histogram = _hash_space_histogram(column, config.num_buckets)
+    for column, (values, distinct), signature in zip(columns, scans, signatures):
+        profile = profile_column(
+            column, non_missing=values, distinct_count=len(distinct)
+        )
+        histogram = _hash_space_histogram(values, distinct, config.num_buckets)
         sketches.append(
             ColumnSketch.from_profile(profile, table.name, signature, histogram)
         )

@@ -5,6 +5,31 @@ distribution-based matcher, SemProp, EmbDI and the Jaccard–Levenshtein
 baseline — implements :class:`BaseMatcher` and returns a :class:`MatchResult`:
 a list of column-pair correspondences *ranked by matching confidence*, which
 is the output format the paper argues dataset discovery needs (Section II-C).
+
+Matching is a **two-phase protocol**:
+
+1. :meth:`BaseMatcher.prepare` condenses one table into a
+   :class:`PreparedTable` — a matcher-specific bundle of everything the
+   method derives from a single table in isolation (tokenised names, column
+   profiles, value sets, MinHash signatures, schema trees/graphs, ontology
+   links).  Preparation touches only that table, so a prepared table can be
+   cached and reused across many match calls.
+2. :meth:`BaseMatcher.match_prepared` combines two prepared tables into the
+   ranked :class:`MatchResult`.  Only genuinely *pairwise* work (pair EMDs,
+   fixpoint propagation, joint embedding training) happens here.
+
+:meth:`BaseMatcher.get_matches` remains the convenience entry point — it
+prepares both sides and delegates to :meth:`match_prepared` — so one-off
+callers are unaffected.  Dataset discovery, which matches one query table
+against hundreds of candidates, prepares the query exactly once and streams
+candidates through :meth:`match_prepared` (see
+:func:`repro.discovery.search.prune_then_rerank`), turning O(candidates)
+redundant query-side preprocessing into O(1).
+
+Third-party matchers may implement either side of the protocol: overriding
+only :meth:`get_matches` keeps working (the default :meth:`match_prepared`
+falls back to it), while overriding :meth:`prepare`/:meth:`match_prepared`
+opts into prepared reuse and caching.
 """
 
 from __future__ import annotations
@@ -12,11 +37,11 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.data.table import ColumnRef, Table
 
-__all__ = ["MatchType", "Match", "MatchResult", "BaseMatcher"]
+__all__ = ["MatchType", "Match", "MatchResult", "PreparedTable", "BaseMatcher"]
 
 
 class MatchType(str, Enum):
@@ -157,11 +182,43 @@ class MatchResult:
         ]
 
 
+@dataclass(frozen=True)
+class PreparedTable:
+    """One table plus everything a specific matcher precomputes from it.
+
+    Attributes
+    ----------
+    table:
+        The underlying table (always available, so matchers whose pairwise
+        stage needs raw values — e.g. EmbDI's joint embedding training — can
+        reach them).
+    fingerprint:
+        The :meth:`BaseMatcher.fingerprint` of the matcher configuration that
+        produced the payload.  A matcher only trusts payloads carrying its
+        own fingerprint; anything else is transparently re-prepared.
+    payload:
+        Matcher-specific artifacts (value sets, signatures, schema trees...).
+        Must stay picklable: prepared query tables are shipped to rerank
+        worker processes.
+    """
+
+    table: Table
+    fingerprint: str
+    payload: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """Name of the underlying table."""
+        return self.table.name
+
+
 class BaseMatcher(abc.ABC):
     """Abstract base class of every schema matching method in the suite.
 
-    Subclasses implement :meth:`get_matches`; class attributes describe the
-    method for the registry and the Table I coverage report.
+    Subclasses implement the two-phase protocol — :meth:`prepare` and
+    :meth:`match_prepared` — or, for simple/legacy methods, just
+    :meth:`get_matches`; class attributes describe the method for the
+    registry and the Table I coverage report.
     """
 
     #: Human-readable method name (e.g. ``"Cupid"``).
@@ -175,9 +232,105 @@ class BaseMatcher(abc.ABC):
     #: Whether the method reads schema-level information.
     uses_schema: bool = True
 
-    @abc.abstractmethod
+    # ------------------------------------------------------------------ #
+    # the two-phase protocol
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Stable identity of this matcher configuration.
+
+        Keys prepared payloads and the
+        :class:`~repro.discovery.prepared.PreparedTableCache`: two matcher
+        instances with the same class, the same :meth:`parameters` and the
+        same :meth:`_fingerprint_extras` share prepared tables; any config
+        change produces a different fingerprint.
+        """
+        cls = type(self)
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.parameters().items()))
+        extras = self._fingerprint_extras()
+        suffix = f" deps={extras!r}" if extras else ""
+        return f"{cls.__module__}.{cls.__qualname__}({params}){suffix}"
+
+    def _fingerprint_extras(self) -> tuple[object, ...]:
+        """Identity tokens of dependencies :meth:`parameters` cannot see.
+
+        :meth:`parameters` only exposes public attributes, so matchers whose
+        prepared artifacts depend on privately-stored collaborators (a
+        custom thesaurus, ontology or embedding model) override this to
+        return stable, content-based tokens for them — otherwise two
+        configurations differing only in such a dependency would share cache
+        entries.  Tokens must be stable across processes (no ``id()``): the
+        parallel rerank recomputes fingerprints in worker processes.
+        """
+        return ()
+
+    def prefers_legacy_get_matches(self) -> bool:
+        """True when a subclass overrode :meth:`get_matches` below the class
+        that last overrode :meth:`match_prepared`.
+
+        Such a subclass (e.g. a third-party matcher deriving from a bundled
+        one to post-process its scores) expects every ranking to flow
+        through its ``get_matches``; callers that normally use the prepared
+        fast path (discovery, ensembles) consult this predicate and fall
+        back to ``get_matches`` so the override is never silently bypassed.
+        """
+        for klass in type(self).__mro__:
+            owns_match_prepared = "match_prepared" in klass.__dict__
+            if "get_matches" in klass.__dict__ and not owns_match_prepared:
+                return True
+            if owns_match_prepared:
+                return False
+        return False
+
+    def prepare(self, table: Table) -> PreparedTable:
+        """Precompute this matcher's single-table artifacts for *table*.
+
+        The default prepares nothing (the payload is empty); matchers with
+        per-table work override this and stash their artifacts in the
+        payload.
+        """
+        return PreparedTable(table=table, fingerprint=self.fingerprint())
+
+    def match_prepared(self, source: PreparedTable, target: PreparedTable) -> MatchResult:
+        """Compute the ranked matches from two prepared tables.
+
+        The default supports legacy matchers that only implement
+        :meth:`get_matches` by unwrapping the tables; matchers implementing
+        the two-phase protocol override this with their pairwise stage.
+        """
+        if type(self).get_matches is BaseMatcher.get_matches:
+            raise TypeError(
+                f"{type(self).__name__} must override match_prepared() "
+                "(or the legacy get_matches())"
+            )
+        return self.get_matches(source.table, target.table)
+
     def get_matches(self, source: Table, target: Table) -> MatchResult:
-        """Compute the ranked matches between *source* and *target* columns."""
+        """Compute the ranked matches between *source* and *target* columns.
+
+        Thin default over the two-phase protocol: prepare both sides, then
+        match.  Discovery callers should instead prepare the query once and
+        call :meth:`match_prepared` per candidate.
+        """
+        if type(self).match_prepared is BaseMatcher.match_prepared:
+            raise TypeError(
+                f"{type(self).__name__} must override get_matches() "
+                "or match_prepared()"
+            )
+        return self.match_prepared(self.prepare(source), self.prepare(target))
+
+    def _ensure_prepared(self, table: Union[Table, PreparedTable]) -> PreparedTable:
+        """Coerce *table* into a PreparedTable this matcher can consume.
+
+        Raw tables are prepared on the spot; prepared tables carrying a
+        foreign fingerprint (another matcher, or the same matcher under a
+        different configuration) are re-prepared from their underlying table
+        so a stale payload can never corrupt a match.
+        """
+        if isinstance(table, PreparedTable):
+            if table.fingerprint == self.fingerprint():
+                return table
+            table = table.table
+        return self.prepare(table)
 
     def parameters(self) -> dict[str, object]:
         """Return the method's current parameter values (for result records).

@@ -19,13 +19,20 @@ Instance-level components (from the COMA++ instance extension)
     * ``PatternMatcher`` — similarity of simple value "shape" patterns
       (character classes and lengths).
 
-Each component exposes ``similarity(source_column, target_column) -> float``.
+Each component exposes ``similarity(source_column, target_column) -> float``
+plus the two-phase form behind it: ``prepare(column)`` precomputes the
+component's per-column features (token lists, trigram sets, value sets,
+numeric profiles, pattern sets) and ``similarity_prepared(a, b)`` combines
+two prepared feature bundles.  :class:`~repro.matchers.coma.matcher._ComaBase`
+prepares every column of a table once and reuses the features across all
+column pairs — and, through the matcher-level prepare/match protocol, across
+all candidate tables of a discovery query.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Protocol
+from typing import Optional, Protocol
 
 from repro.data.profiling import profile_column
 from repro.data.table import Column
@@ -62,38 +69,61 @@ class ComponentMatcher(Protocol):
         """Similarity of two columns in [0, 1]."""
         ...  # pragma: no cover - protocol definition
 
+    def prepare(self, column: Column) -> object:
+        """Precompute this component's per-column features."""
+        ...  # pragma: no cover - protocol definition
 
-class NameTokenMatcher:
+    def similarity_prepared(self, source: object, target: object) -> float:
+        """Similarity of two prepared feature bundles in [0, 1]."""
+        ...  # pragma: no cover - protocol definition
+
+
+class _PreparableComponent:
+    """Base for components: ``similarity`` is prepare-both-then-compare."""
+
+    def prepare(self, column: Column) -> object:
+        raise NotImplementedError
+
+    def similarity_prepared(self, source: object, target: object) -> float:
+        raise NotImplementedError
+
+    def similarity(self, source: Column, target: Column) -> float:
+        return self.similarity_prepared(self.prepare(source), self.prepare(target))
+
+
+class NameTokenMatcher(_PreparableComponent):
     """Token-level name similarity with abbreviation expansion."""
 
     name = "name_tokens"
 
-    def similarity(self, source: Column, target: Column) -> float:
-        tokens_a = tokenize_identifier(source.name)
-        tokens_b = tokenize_identifier(target.name)
-        if not tokens_a or not tokens_b:
+    def prepare(self, column: Column) -> list[str]:
+        return tokenize_identifier(column.name)
+
+    def similarity_prepared(self, source: list[str], target: list[str]) -> float:
+        if not source or not target:
             return 0.0
 
         def inner(a: str, b: str) -> float:
             return max(jaro_winkler_similarity(a, b), normalized_levenshtein(a, b))
 
-        forward = monge_elkan(tokens_a, tokens_b, inner=inner)
-        backward = monge_elkan(tokens_b, tokens_a, inner=inner)
+        forward = monge_elkan(source, target, inner=inner)
+        backward = monge_elkan(target, source, inner=inner)
         return (forward + backward) / 2.0
 
 
-class NameTrigramMatcher:
+class NameTrigramMatcher(_PreparableComponent):
     """Character-trigram Dice similarity of raw attribute names."""
 
     name = "name_trigrams"
 
-    def similarity(self, source: Column, target: Column) -> float:
-        grams_a = character_ngrams(source.name.lower(), n=3)
-        grams_b = character_ngrams(target.name.lower(), n=3)
-        return dice_coefficient(grams_a, grams_b)
+    def prepare(self, column: Column) -> set[str]:
+        return set(character_ngrams(column.name.lower(), n=3))
+
+    def similarity_prepared(self, source: set[str], target: set[str]) -> float:
+        return dice_coefficient(source, target)
 
 
-class NamePathMatcher:
+class NamePathMatcher(_PreparableComponent):
     """Similarity of the qualified ``table.column`` name paths.
 
     Fabricated datasets frequently prefix column names with the table name;
@@ -102,27 +132,32 @@ class NamePathMatcher:
 
     name = "name_path"
 
-    def similarity(self, source: Column, target: Column) -> float:
-        path_a = f"{source.table_name}.{source.name}".lower()
-        path_b = f"{target.table_name}.{target.name}".lower()
-        grams_a = character_ngrams(path_a, n=3)
-        grams_b = character_ngrams(path_b, n=3)
-        trigram = dice_coefficient(grams_a, grams_b)
+    def prepare(self, column: Column) -> tuple[set[str], str]:
+        path = f"{column.table_name}.{column.name}".lower()
+        return (set(character_ngrams(path, n=3)), column.name.lower())
+
+    def similarity_prepared(
+        self, source: tuple[set[str], str], target: tuple[set[str], str]
+    ) -> float:
+        trigram = dice_coefficient(source[0], target[0])
         # The unqualified tail often carries the real signal; blend both.
-        tail = normalized_levenshtein(source.name.lower(), target.name.lower())
+        tail = normalized_levenshtein(source[1], target[1])
         return 0.5 * trigram + 0.5 * tail
 
 
-class DataTypeMatcher:
+class DataTypeMatcher(_PreparableComponent):
     """Compatibility of the two columns' inferred data types."""
 
     name = "data_type"
 
-    def similarity(self, source: Column, target: Column) -> float:
-        return type_compatibility(source.data_type, target.data_type)
+    def prepare(self, column: Column):
+        return column.data_type
+
+    def similarity_prepared(self, source, target) -> float:
+        return type_compatibility(source, target)
 
 
-class ThesaurusMatcher:
+class ThesaurusMatcher(_PreparableComponent):
     """Synonym/hypernym relation score of the attribute names."""
 
     name = "thesaurus"
@@ -130,19 +165,20 @@ class ThesaurusMatcher:
     def __init__(self, thesaurus: Thesaurus | None = None) -> None:
         self._thesaurus = thesaurus or default_thesaurus()
 
-    def similarity(self, source: Column, target: Column) -> float:
-        tokens_a = tokenize_identifier(source.name)
-        tokens_b = tokenize_identifier(target.name)
-        if not tokens_a or not tokens_b:
+    def prepare(self, column: Column) -> list[str]:
+        return tokenize_identifier(column.name)
+
+    def similarity_prepared(self, source: list[str], target: list[str]) -> float:
+        if not source or not target:
             return 0.0
         best = 0.0
-        for token_a in tokens_a:
-            for token_b in tokens_b:
+        for token_a in source:
+            for token_b in target:
                 best = max(best, self._thesaurus.relation_score(token_a, token_b))
         return best
 
 
-class ValueOverlapMatcher:
+class ValueOverlapMatcher(_PreparableComponent):
     """Jaccard overlap of the distinct (normalised) value sets."""
 
     name = "value_overlap"
@@ -150,13 +186,14 @@ class ValueOverlapMatcher:
     def __init__(self, sample_size: int = 2000) -> None:
         self.sample_size = sample_size
 
-    def similarity(self, source: Column, target: Column) -> float:
-        values_a = {str(v).strip().lower() for v in source.non_missing()[: self.sample_size]}
-        values_b = {str(v).strip().lower() for v in target.non_missing()[: self.sample_size]}
-        return jaccard_similarity(values_a, values_b)
+    def prepare(self, column: Column) -> set[str]:
+        return {str(v).strip().lower() for v in column.non_missing()[: self.sample_size]}
+
+    def similarity_prepared(self, source: set[str], target: set[str]) -> float:
+        return jaccard_similarity(source, target)
 
 
-class NumericStatisticsMatcher:
+class NumericStatisticsMatcher(_PreparableComponent):
     """Similarity of numeric summary statistics (mean, std, range).
 
     Non-numeric columns score 0.  Statistics are compared with a bounded
@@ -174,23 +211,26 @@ class NumericStatisticsMatcher:
             return 1.0
         return max(0.0, 1.0 - abs(a - b) / denominator)
 
-    def similarity(self, source: Column, target: Column) -> float:
-        if not (source.data_type.is_numeric and target.data_type.is_numeric):
+    def prepare(self, column: Column):
+        if not column.data_type.is_numeric:
+            return None
+        return profile_column(column)
+
+    def similarity_prepared(self, source, target) -> float:
+        if source is None or target is None:
             return 0.0
-        profile_a = profile_column(source)
-        profile_b = profile_column(target)
-        if profile_a.mean is None or profile_b.mean is None:
+        if source.mean is None or target.mean is None:
             return 0.0
         parts = [
-            self._relative_similarity(profile_a.mean, profile_b.mean),
-            self._relative_similarity(profile_a.std or 0.0, profile_b.std or 0.0),
-            self._relative_similarity(profile_a.minimum or 0.0, profile_b.minimum or 0.0),
-            self._relative_similarity(profile_a.maximum or 0.0, profile_b.maximum or 0.0),
+            self._relative_similarity(source.mean, target.mean),
+            self._relative_similarity(source.std or 0.0, target.std or 0.0),
+            self._relative_similarity(source.minimum or 0.0, target.minimum or 0.0),
+            self._relative_similarity(source.maximum or 0.0, target.maximum or 0.0),
         ]
         return sum(parts) / len(parts)
 
 
-class PatternMatcher:
+class PatternMatcher(_PreparableComponent):
     """Similarity of value "shape" patterns.
 
     Every value is abstracted into a pattern of character classes
@@ -222,16 +262,24 @@ class PatternMatcher:
                 collapsed.append(symbol)
         return "".join(collapsed)
 
-    def similarity(self, source: Column, target: Column) -> float:
-        values_a = source.as_strings()[: self.sample_size]
-        values_b = target.as_strings()[: self.sample_size]
-        if not values_a or not values_b:
+    def prepare(self, column: Column) -> Optional[tuple[set[str], float]]:
+        values = column.as_strings()[: self.sample_size]
+        if not values:
+            return None
+        patterns = {self._pattern(v) for v in values}
+        avg_len = sum(len(v) for v in values) / len(values)
+        return (patterns, avg_len)
+
+    def similarity_prepared(
+        self,
+        source: Optional[tuple[set[str], float]],
+        target: Optional[tuple[set[str], float]],
+    ) -> float:
+        if source is None or target is None:
             return 0.0
-        patterns_a = {self._pattern(v) for v in values_a}
-        patterns_b = {self._pattern(v) for v in values_b}
+        patterns_a, avg_len_a = source
+        patterns_b, avg_len_b = target
         pattern_overlap = jaccard_similarity(patterns_a, patterns_b)
-        avg_len_a = sum(len(v) for v in values_a) / len(values_a)
-        avg_len_b = sum(len(v) for v in values_b) / len(values_b)
         longest = max(avg_len_a, avg_len_b)
         length_similarity = 1.0 - abs(avg_len_a - avg_len_b) / longest if longest else 1.0
         return 0.6 * pattern_overlap + 0.4 * length_similarity

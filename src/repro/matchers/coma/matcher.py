@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.data.table import Table
-from repro.matchers.base import BaseMatcher, MatchResult, MatchType
+from repro.matchers.base import BaseMatcher, MatchResult, MatchType, PreparedTable
 from repro.matchers.coma.combination import CombinationConfig, aggregate, select_pairs
 from repro.matchers.coma.component_matchers import (
     ComponentMatcher,
@@ -59,21 +59,48 @@ class _ComaBase(BaseMatcher):
     def _components(self) -> Sequence[ComponentMatcher]:
         raise NotImplementedError
 
-    def get_matches(self, source: Table, target: Table) -> MatchResult:
+    def prepare(self, table: Table) -> PreparedTable:
+        """Precompute every component's per-column features once per table.
+
+        The payload maps each component name to its feature bundle per
+        column (in column order), so the pairwise stage never re-tokenises
+        names or re-normalises value sets.
+        """
+        features = {
+            component.name: [component.prepare(column) for column in table.columns]
+            for component in self._components()
+        }
+        return PreparedTable(
+            table=table,
+            fingerprint=self.fingerprint(),
+            payload={"features": features},
+        )
+
+    def match_prepared(self, source: PreparedTable, target: PreparedTable) -> MatchResult:
         """Run every component matcher, aggregate and rank the similarities."""
-        components = self._components()
+        source = self._ensure_prepared(source)
+        target = self._ensure_prepared(target)
+        source_features = source.payload["features"]
+        target_features = target.payload["features"]
+        source_names = source.table.column_names
+        target_names = target.table.column_names
+
         component_scores: dict[str, dict[tuple[str, str], float]] = {}
-        for component in components:
+        for component in self._components():
+            features_a = source_features[component.name]
+            features_b = target_features[component.name]
             scores: dict[tuple[str, str], float] = {}
-            for source_column in source.columns:
-                for target_column in target.columns:
-                    forward = component.similarity(source_column, target_column)
+            for i, source_name in enumerate(source_names):
+                for j, target_name in enumerate(target_names):
+                    forward = component.similarity_prepared(features_a[i], features_b[j])
                     if self.use_both_directions:
-                        backward = component.similarity(target_column, source_column)
+                        backward = component.similarity_prepared(
+                            features_b[j], features_a[i]
+                        )
                         value = (forward + backward) / 2.0
                     else:
                         value = forward
-                    scores[(source_column.name, target_column.name)] = value
+                    scores[(source_name, target_name)] = value
             component_scores[component.name] = scores
 
         aggregated = aggregate(component_scores, self._config)
@@ -81,7 +108,9 @@ class _ComaBase(BaseMatcher):
 
         result_scores = {}
         for (source_name, target_name), score in selected.items():
-            result_scores[(source.column(source_name).ref, target.column(target_name).ref)] = score
+            result_scores[
+                (source.table.column(source_name).ref, target.table.column(target_name).ref)
+            ] = score
         return MatchResult.from_scores(result_scores, keep_zero=True)
 
 

@@ -15,7 +15,7 @@ the structural-adjustment step exactly as in Cupid.
 from __future__ import annotations
 
 from repro.data.table import Table
-from repro.matchers.base import BaseMatcher, MatchResult, MatchType
+from repro.matchers.base import BaseMatcher, MatchResult, MatchType, PreparedTable
 from repro.matchers.cupid.schema_tree import build_schema_tree
 from repro.matchers.cupid.structural import CupidWeights, tree_match
 from repro.matchers.registry import register_matcher
@@ -61,10 +61,24 @@ class CupidMatcher(BaseMatcher):
         self.th_accept = th_accept
         self._thesaurus = thesaurus or default_thesaurus()
 
-    def get_matches(self, source: Table, target: Table) -> MatchResult:
+    def _fingerprint_extras(self) -> tuple[object, ...]:
+        """A custom thesaurus changes the linguistic similarities."""
+        return (self._thesaurus.fingerprint(),)
+
+    def prepare(self, table: Table) -> PreparedTable:
+        """Build the table's Cupid schema tree once."""
+        return PreparedTable(
+            table=table,
+            fingerprint=self.fingerprint(),
+            payload={"tree": build_schema_tree(table)},
+        )
+
+    def match_prepared(self, source: PreparedTable, target: PreparedTable) -> MatchResult:
         """Match columns through Cupid's TreeMatch over the two schema trees."""
-        tree_source = build_schema_tree(source)
-        tree_target = build_schema_tree(target)
+        source = self._ensure_prepared(source)
+        target = self._ensure_prepared(target)
+        tree_source = source.payload["tree"]
+        tree_target = target.payload["tree"]
         weights = CupidWeights(
             w_struct=self.w_struct,
             leaf_w_struct=self.leaf_w_struct,
@@ -73,5 +87,7 @@ class CupidMatcher(BaseMatcher):
         weighted = tree_match(tree_source, tree_target, weights=weights, thesaurus=self._thesaurus)
         scores = {}
         for (source_name, target_name), score in weighted.items():
-            scores[(source.column(source_name).ref, target.column(target_name).ref)] = score
+            scores[
+                (source.table.column(source_name).ref, target.table.column(target_name).ref)
+            ] = score
         return MatchResult.from_scores(scores, keep_zero=True)

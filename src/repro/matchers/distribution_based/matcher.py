@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from repro.data.table import Column, ColumnRef, Table
 from repro.distributions.emd import column_emd, intersection_emd
-from repro.matchers.base import BaseMatcher, MatchResult, MatchType
+from repro.matchers.base import BaseMatcher, MatchResult, MatchType, PreparedTable
 from repro.matchers.distribution_based.clustering import connected_components, refine_cluster
 from repro.matchers.registry import register_matcher
 
@@ -99,13 +99,29 @@ class DistributionBasedMatcher(BaseMatcher):
     # ------------------------------------------------------------------ #
     # matching
     # ------------------------------------------------------------------ #
-    def get_matches(self, source: Table, target: Table) -> MatchResult:
-        """Run the two clustering phases and rank cross-table column pairs."""
-        source_values = {c.name: self._column_values(c) for c in source.columns}
-        target_values = {c.name: self._column_values(c) for c in target.columns}
+    def prepare(self, table: Table) -> PreparedTable:
+        """Normalise (and truncate) every column's value list once.
 
-        source_nodes = [("source", name) for name in source.column_names]
-        target_nodes = [("target", name) for name in target.column_names]
+        The EMDs themselves are genuinely pairwise — each pair's histograms
+        are built over the union of the two columns' values — so only the
+        value normalisation can move to the prepare phase.
+        """
+        values = {c.name: self._column_values(c) for c in table.columns}
+        return PreparedTable(
+            table=table,
+            fingerprint=self.fingerprint(),
+            payload={"values": values},
+        )
+
+    def match_prepared(self, source: PreparedTable, target: PreparedTable) -> MatchResult:
+        """Run the two clustering phases and rank cross-table column pairs."""
+        source = self._ensure_prepared(source)
+        target = self._ensure_prepared(target)
+        source_values = source.payload["values"]
+        target_values = target.payload["values"]
+
+        source_nodes = [("source", name) for name in source.table.column_names]
+        target_nodes = [("target", name) for name in target.table.column_names]
         all_nodes = source_nodes + target_nodes
 
         # Phase 1: global EMD between cross-table pairs.
@@ -156,5 +172,7 @@ class DistributionBasedMatcher(BaseMatcher):
                 score = 0.5 + 0.5 * base
             else:
                 score = 0.5 * base
-            scores[(source.column(source_name).ref, target.column(target_name).ref)] = score
+            scores[
+                (source.table.column(source_name).ref, target.table.column(target_name).ref)
+            ] = score
         return MatchResult.from_scores(scores, keep_zero=True)

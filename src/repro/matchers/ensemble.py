@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from repro.data.table import ColumnRef, Table
-from repro.matchers.base import BaseMatcher, MatchResult, MatchType
+from repro.matchers.base import BaseMatcher, MatchResult, MatchType, PreparedTable
 from repro.matchers.registry import register_matcher
 
 __all__ = ["EnsembleMatcher"]
@@ -103,9 +103,46 @@ class EnsembleMatcher(BaseMatcher):
             "base_matchers": [matcher.name for matcher in self._matchers],
         }
 
-    def get_matches(self, source: Table, target: Table) -> MatchResult:
-        """Run every base matcher and aggregate their rankings."""
-        base_results = [(matcher, matcher.get_matches(source, target)) for matcher in self._matchers]
+    def fingerprint(self) -> str:
+        """Ensemble identity: own config plus every member's fingerprint.
+
+        Two ensembles whose members merely share *names* but differ in
+        configuration must not share prepared tables.
+        """
+        members = "; ".join(matcher.fingerprint() for matcher in self._matchers)
+        return f"{super().fingerprint()}[{members}]"
+
+    def prepare(self, table: Table) -> PreparedTable:
+        """Prepare *table* once per member matcher.
+
+        The payload holds one member-specific :class:`PreparedTable` per base
+        matcher (keyed by position), so a discovery query prepared once is
+        reused by every member across every candidate.
+        """
+        members = tuple(matcher.prepare(table) for matcher in self._matchers)
+        return PreparedTable(
+            table=table,
+            fingerprint=self.fingerprint(),
+            payload={"members": members},
+        )
+
+    def match_prepared(self, source: PreparedTable, target: PreparedTable) -> MatchResult:
+        """Run every base matcher on its prepared pair and aggregate rankings."""
+        source = self._ensure_prepared(source)
+        target = self._ensure_prepared(target)
+        source_members = source.payload["members"]
+        target_members = target.payload["members"]
+        base_results = []
+        for matcher, prepared_source, prepared_target in zip(
+            self._matchers, source_members, target_members
+        ):
+            if matcher.prefers_legacy_get_matches():
+                # A member subclass overrode get_matches below the prepared
+                # pipeline: honour its override instead of bypassing it.
+                result = matcher.get_matches(prepared_source.table, prepared_target.table)
+            else:
+                result = matcher.match_prepared(prepared_source, prepared_target)
+            base_results.append((matcher, result))
 
         combined: dict[PairKey, float] = {}
         if self.aggregation == "borda":

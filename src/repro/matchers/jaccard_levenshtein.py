@@ -9,14 +9,19 @@ ranked list of column pairs with their similarity scores.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import AbstractSet, Sequence
 
 from repro.data.table import Table
-from repro.matchers.base import BaseMatcher, MatchResult, MatchType
+from repro.matchers.base import BaseMatcher, MatchResult, MatchType, PreparedTable
 from repro.matchers.registry import register_matcher
 from repro.text.distance import normalized_levenshtein
 
 __all__ = ["JaccardLevenshteinMatcher"]
+
+
+def _normalised_value_set(values: Sequence[str]) -> frozenset[str]:
+    """The distinct stripped/lowercased values — the per-column preparation."""
+    return frozenset(str(v).strip().lower() for v in values)
 
 
 def _fuzzy_jaccard(
@@ -31,8 +36,21 @@ def _fuzzy_jaccard(
     Exact matches are counted first on sets (cheap); only the residue goes
     through the quadratic fuzzy pass, capped at *sample_size* values per side.
     """
-    set_a = {str(v).strip().lower() for v in values_a}
-    set_b = {str(v).strip().lower() for v in values_b}
+    return _fuzzy_jaccard_sets(
+        _normalised_value_set(values_a),
+        _normalised_value_set(values_b),
+        threshold=threshold,
+        sample_size=sample_size,
+    )
+
+
+def _fuzzy_jaccard_sets(
+    set_a: AbstractSet[str],
+    set_b: AbstractSet[str],
+    threshold: float,
+    sample_size: int,
+) -> float:
+    """:func:`_fuzzy_jaccard` over already-normalised value sets."""
     if not set_a and not set_b:
         return 1.0
     if not set_a or not set_b:
@@ -88,20 +106,30 @@ class JaccardLevenshteinMatcher(BaseMatcher):
         self.threshold = threshold
         self.sample_size = sample_size
 
-    def get_matches(self, source: Table, target: Table) -> MatchResult:
+    def prepare(self, table: Table) -> PreparedTable:
+        """Normalise every column's value set once."""
+        value_sets = {
+            column.name: _normalised_value_set(column.as_strings())
+            for column in table.columns
+        }
+        return PreparedTable(
+            table=table,
+            fingerprint=self.fingerprint(),
+            payload={"value_sets": value_sets},
+        )
+
+    def match_prepared(self, source: PreparedTable, target: PreparedTable) -> MatchResult:
         """Score every source/target column pair with fuzzy Jaccard similarity."""
+        source = self._ensure_prepared(source)
+        target = self._ensure_prepared(target)
+        source_sets = source.payload["value_sets"]
+        target_sets = target.payload["value_sets"]
         scores = {}
-        source_values = {
-            column.name: column.as_strings() for column in source.columns
-        }
-        target_values = {
-            column.name: column.as_strings() for column in target.columns
-        }
-        for source_column in source.columns:
-            for target_column in target.columns:
-                score = _fuzzy_jaccard(
-                    source_values[source_column.name],
-                    target_values[target_column.name],
+        for source_column in source.table.columns:
+            for target_column in target.table.columns:
+                score = _fuzzy_jaccard_sets(
+                    source_sets[source_column.name],
+                    target_sets[target_column.name],
                     threshold=self.threshold,
                     sample_size=self.sample_size,
                 )

@@ -3,6 +3,11 @@
 The registry backs two things: the CLI / experiment runner, which looks up
 matchers by name, and the Table I coverage report, which lists the match
 types each method provides.
+
+Registered matchers participate in the two-phase prepare/match protocol of
+:class:`~repro.matchers.base.BaseMatcher`; legacy classes that only override
+``get_matches`` still register and run (the protocol's defaults bridge
+them), they just forgo prepared-table reuse in discovery.
 """
 
 from __future__ import annotations
@@ -11,7 +16,13 @@ from typing import Callable, Iterable, Type
 
 from repro.matchers.base import BaseMatcher, MatchType
 
-__all__ = ["register_matcher", "matcher_class", "available_matchers", "coverage_table"]
+__all__ = [
+    "register_matcher",
+    "matcher_class",
+    "create_matcher",
+    "available_matchers",
+    "coverage_table",
+]
 
 _REGISTRY: dict[str, Type[BaseMatcher]] = {}
 
@@ -36,6 +47,15 @@ def matcher_class(name: str) -> Type[BaseMatcher]:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown matcher {name!r}; known matchers: {known}")
     return _REGISTRY[key]
+
+
+def create_matcher(name: str, **parameters: object) -> BaseMatcher:
+    """Instantiate a registered matcher by name with keyword parameters.
+
+    Convenience over ``matcher_class(name)(**parameters)`` for the CLI and
+    scripts; raises the same ``KeyError`` for unknown names.
+    """
+    return matcher_class(name)(**parameters)
 
 
 def available_matchers() -> dict[str, Type[BaseMatcher]]:

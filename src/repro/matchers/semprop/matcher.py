@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.data.table import Table
 from repro.embeddings.pretrained import PretrainedEmbeddings, default_pretrained_embeddings
-from repro.matchers.base import BaseMatcher, MatchResult, MatchType
+from repro.matchers.base import BaseMatcher, MatchResult, MatchType, PreparedTable
 from repro.matchers.registry import register_matcher
 from repro.matchers.semprop.semantic import coherence_score, link_to_ontology
 from repro.ontology.domain import business_ontology
@@ -80,45 +80,52 @@ class SemPropMatcher(BaseMatcher):
         self._ontology = ontology or business_ontology()
         self._embeddings = embeddings or default_pretrained_embeddings()
 
-    def get_matches(self, source: Table, target: Table) -> MatchResult:
-        """Combine semantic (ontology-linked) and syntactic (MinHash) evidence."""
-        source_links = {
-            column.name: link_to_ontology(
-                column.name,
-                self._ontology,
-                embeddings=self._embeddings,
-                threshold=self.semantic_threshold,
-            )
-            for column in source.columns
-        }
-        target_links = {
-            column.name: link_to_ontology(
-                column.name,
-                self._ontology,
-                embeddings=self._embeddings,
-                threshold=self.semantic_threshold,
-            )
-            for column in target.columns
-        }
+    def _fingerprint_extras(self) -> tuple[object, ...]:
+        """The ontology and embedding model shape every prepared link."""
+        return (self._ontology.fingerprint(), self._embeddings.fingerprint())
 
-        source_signatures = {
+    def prepare(self, table: Table) -> PreparedTable:
+        """Link column names to the ontology and sketch value sets once.
+
+        Both artifacts depend only on one table (plus the matcher's ontology,
+        embeddings and thresholds), so discovery amortises the expensive
+        embedding lookups and MinHash hashing over every candidate the
+        prepared query meets.
+        """
+        links = {
+            column.name: link_to_ontology(
+                column.name,
+                self._ontology,
+                embeddings=self._embeddings,
+                threshold=self.semantic_threshold,
+            )
+            for column in table.columns
+        }
+        signatures = {
             column.name: minhash_signature(
                 column.as_strings()[: self.sample_size],
                 num_permutations=self.num_permutations,
             )
-            for column in source.columns
+            for column in table.columns
         }
-        target_signatures = {
-            column.name: minhash_signature(
-                column.as_strings()[: self.sample_size],
-                num_permutations=self.num_permutations,
-            )
-            for column in target.columns
-        }
+        return PreparedTable(
+            table=table,
+            fingerprint=self.fingerprint(),
+            payload={"links": links, "signatures": signatures},
+        )
+
+    def match_prepared(self, source: PreparedTable, target: PreparedTable) -> MatchResult:
+        """Combine semantic (ontology-linked) and syntactic (MinHash) evidence."""
+        source = self._ensure_prepared(source)
+        target = self._ensure_prepared(target)
+        source_links = source.payload["links"]
+        target_links = target.payload["links"]
+        source_signatures = source.payload["signatures"]
+        target_signatures = target.payload["signatures"]
 
         scores = {}
-        for source_column in source.columns:
-            for target_column in target.columns:
+        for source_column in source.table.columns:
+            for target_column in target.table.columns:
                 semantic = coherence_score(
                     source_links[source_column.name],
                     target_links[target_column.name],

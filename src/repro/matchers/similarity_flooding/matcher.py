@@ -22,7 +22,7 @@ from repro.graphmodel.schema_graph import (
     build_schema_graph,
     pairwise_connectivity_graph,
 )
-from repro.matchers.base import BaseMatcher, MatchResult, MatchType
+from repro.matchers.base import BaseMatcher, MatchResult, MatchType, PreparedTable
 from repro.matchers.registry import register_matcher
 from repro.text.distance import normalized_levenshtein
 from repro.text.tokenize import normalize_identifier
@@ -77,10 +77,20 @@ class SimilarityFloodingMatcher(BaseMatcher):
             residual_threshold=residual_threshold,
         )
 
-    def get_matches(self, source: Table, target: Table) -> MatchResult:
+    def prepare(self, table: Table) -> PreparedTable:
+        """Build the table's directed labelled schema graph once."""
+        return PreparedTable(
+            table=table,
+            fingerprint=self.fingerprint(),
+            payload={"graph": build_schema_graph(table)},
+        )
+
+    def match_prepared(self, source: PreparedTable, target: PreparedTable) -> MatchResult:
         """Run the flooding fixpoint and rank column↔column map pairs."""
-        graph_source = build_schema_graph(source)
-        graph_target = build_schema_graph(target)
+        source = self._ensure_prepared(source)
+        target = self._ensure_prepared(target)
+        graph_source = source.payload["graph"]
+        graph_target = target.payload["graph"]
         pcg = pairwise_connectivity_graph(graph_source, graph_target)
 
         initial = {}
@@ -98,10 +108,12 @@ class SimilarityFloodingMatcher(BaseMatcher):
                 continue
             column_a = node_a.identifier.split(".", 1)[1]
             column_b = node_b.identifier.split(".", 1)[1]
-            scores[(source.column(column_a).ref, target.column(column_b).ref)] = similarity
+            scores[
+                (source.table.column(column_a).ref, target.table.column(column_b).ref)
+            ] = similarity
         # Columns that never co-occur in the PCG get a zero score so the
         # ranking is complete (Valentine evaluates rankings, not thresholds).
-        for source_column in source.columns:
-            for target_column in target.columns:
+        for source_column in source.table.columns:
+            for target_column in target.table.columns:
                 scores.setdefault((source_column.ref, target_column.ref), 0.0)
         return MatchResult.from_scores(scores, keep_zero=True)

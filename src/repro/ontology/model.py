@@ -10,6 +10,7 @@ distance).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
@@ -47,6 +48,22 @@ class Ontology:
     def add_class(self, ontology_class: OntologyClass) -> None:
         """Register a class (replacing any class with the same name)."""
         self._classes[ontology_class.name] = ontology_class
+        self._fingerprint_cache: Optional[str] = None
+
+    def fingerprint(self) -> str:
+        """Short content-based digest of the ontology (name, classes, edges).
+
+        Stable across processes; matchers fold it into their own
+        configuration fingerprint so prepared artifacts built under
+        different ontologies can never be confused.  Cached between
+        mutations because matchers consult it on the per-candidate hot path.
+        """
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is None:
+            payload = repr((self.name, sorted(repr(c) for c in self._classes.values())))
+            cached = hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
+            self._fingerprint_cache = cached
+        return cached
 
     def __contains__(self, class_name: str) -> bool:
         return class_name in self._classes

@@ -145,15 +145,39 @@ class Thesaurus:
     def _key(term: str) -> str:
         return stem(str(term).strip().lower().replace(" ", ""))
 
+    def fingerprint(self) -> str:
+        """Short content-based digest of the lexicon (stable across processes).
+
+        Matchers fold it into their configuration fingerprint so prepared
+        artifacts built under different thesauri can never be confused.
+        Cached between mutations because matchers consult it on the
+        per-candidate hot path.
+        """
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is None:
+            import hashlib
+
+            payload = repr(
+                (
+                    sorted((k, tuple(sorted(v))) for k, v in self._synonyms.items()),
+                    sorted((k, tuple(sorted(v))) for k, v in self._hypernyms.items()),
+                )
+            )
+            cached = hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
+            self._fingerprint_cache = cached
+        return cached
+
     def add_synonym_group(self, terms: Iterable[str]) -> None:
         """Register a group of mutually synonymous terms."""
         keys = {self._key(term) for term in terms if term}
         for key in keys:
             self._synonyms.setdefault(key, set()).update(keys)
+        self._fingerprint_cache: Optional[str] = None
 
     def add_hypernym(self, specific: str, general: str) -> None:
         """Register ``specific IS-A general``."""
         self._hypernyms.setdefault(self._key(specific), set()).add(self._key(general))
+        self._fingerprint_cache = None
 
     def synonyms(self, term: str) -> set[str]:
         """Return the synonym keys of *term* (including itself if known)."""

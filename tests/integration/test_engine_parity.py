@@ -1,0 +1,87 @@
+"""Parity of the discovery engines through the shared prune-then-rerank core.
+
+Fabricates a small lake and answers the same query four ways — brute-force
+scan, index-pruned ``DiscoveryEngine.discover(index=)``, serial
+``LakeDiscoveryEngine.query`` and its parallel (process-pool) variant — and
+asserts all four produce identical rankings with identical scores.  The
+shortlist is larger than the lake here, so pruning cannot drop genuinely
+related tables and the comparison is exact.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.table import Table
+from repro.datasets import tpcdi_prospect_table
+from repro.discovery.search import DatasetRepository, DiscoveryEngine
+from repro.fabrication.splitting import split_horizontal, split_vertical
+from repro.lake import LakeDiscoveryEngine, SketchStore
+from repro.matchers.coma import ComaSchemaMatcher
+from repro.matchers.jaccard_levenshtein import JaccardLevenshteinMatcher
+
+TOP_K = 5
+
+
+@pytest.fixture(scope="module")
+def lake() -> tuple[Table, DatasetRepository]:
+    rng = random.Random(11)
+    base = tpcdi_prospect_table(num_rows=40, seed=2)
+    horizontal = split_horizontal(base, 0.3, rng)
+    query = horizontal.first.rename("query_prospects")
+    repository = DatasetRepository()
+    repository.add(horizontal.second.rename("prospects_full"))
+    for i in range(8):
+        vertical = split_vertical(base, rng.uniform(0.3, 0.7), rng)
+        repository.add(vertical.second.rename(f"slice_{i}"))
+    return query, repository
+
+
+def _signature(results) -> list[tuple[str, float, float]]:
+    return [(r.table_name, r.joinability, r.unionability) for r in results]
+
+
+@pytest.mark.parametrize(
+    "matcher_factory",
+    [ComaSchemaMatcher, lambda: JaccardLevenshteinMatcher(sample_size=20)],
+    ids=["coma-schema", "jaccard-levenshtein"],
+)
+def test_all_engines_produce_identical_rankings(tmp_path, lake, matcher_factory):
+    query, repository = lake
+    matcher = matcher_factory()
+
+    store = SketchStore(tmp_path / "parity.sketches")
+    lake_engine = LakeDiscoveryEngine(matcher=matcher, store=store)
+    lake_engine.build(repository)
+
+    brute_engine = DiscoveryEngine(matcher=matcher)
+    brute = brute_engine.discover(query, repository, mode="combined", top_k=TOP_K)
+    indexed = brute_engine.discover(
+        query, repository, mode="combined", top_k=TOP_K, index=lake_engine.index
+    )
+    serial = lake_engine.query(query, repository, mode="combined", top_k=TOP_K)
+
+    assert _signature(indexed) == _signature(brute)
+    assert _signature(serial) == _signature(brute)
+    store.close()
+
+
+def test_parallel_rerank_matches_serial(tmp_path, lake):
+    query, repository = lake
+    matcher = ComaSchemaMatcher()
+
+    store = SketchStore(tmp_path / "parallel.sketches")
+    engine = LakeDiscoveryEngine(matcher=matcher, store=store)
+    engine.build(repository)
+
+    serial = engine.query(query, repository, mode="combined", top_k=TOP_K)
+    serial_count = engine.last_rerank_count
+    parallel = engine.query(
+        query, repository, mode="combined", top_k=TOP_K, parallel=True, max_workers=2
+    )
+
+    assert _signature(parallel) == _signature(serial)
+    assert engine.last_rerank_count == serial_count
+    store.close()
