@@ -1,0 +1,215 @@
+"""Warm-path lake benchmark: prepared-candidate store + vectorized sketching.
+
+PR 3 removed the *query-side* prepare cost from discovery; this benchmark
+measures the remaining candidate-side hot path and the PR 4 fixes:
+
+1. **Warm vs cold lake query** — a 200-candidate SemProp rerank, cold (the
+   PR 3 baseline: every candidate CSV is read and prepared per query) vs
+   warm (the persistent ``PreparedStore`` populated by ``lake prepare``:
+   candidates come back as ready-made payloads, no CSV read, no prepare).
+   Asserts the two rankings are byte-identical and the warm path is at
+   least ``MIN_WARM_SPEEDUP`` x faster.
+2. **MinHash sketching** — the NumPy batch path of ``minhash_signatures``
+   vs the pure-Python scalar reference on 100k distinct values.  Asserts
+   bit-identical signatures and at least ``MIN_MINHASH_SPEEDUP`` x.
+3. **Lake build throughput** — ``lake build`` serial vs ``--workers``
+   (informational: the speedup assertion is skipped on single-CPU runners,
+   where a process pool cannot help).
+
+Results are printed AND written to ``BENCH_PR4.json`` at the repository
+root, so the perf trajectory is machine-readable.  Set ``BENCH_PR4_SMOKE=1``
+to run a seconds-scale smoke version (used by CI): scales shrink and the
+speedup assertions relax to ranking/signature *identity* only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_report
+from repro.data.csv_io import write_csv
+from repro.datasets import tpcdi_prospect_table
+from repro.discovery.prepared import PreparedStore
+from repro.lake import LakeDiscoveryEngine, SketchStore, build_from_paths, prepare_lake
+from repro.matchers.semprop import SemPropMatcher
+from repro.sketches.minhash import minhash_signatures, minhash_signatures_scalar
+
+SMOKE = os.environ.get("BENCH_PR4_SMOKE", "") not in ("", "0")
+
+NUM_CANDIDATES = 30 if SMOKE else 200
+CANDIDATE_ROWS = 60 if SMOKE else 800
+QUERY_ROWS = 200 if SMOKE else 2000
+MINHASH_VALUES = 5_000 if SMOKE else 100_000
+BUILD_WORKERS = 4
+MIN_WARM_SPEEDUP = 3.0
+MIN_MINHASH_SPEEDUP = 5.0
+
+_OUTPUT_PATH = Path(__file__).parent.parent / "BENCH_PR4.json"
+
+
+def _rankings(results) -> list[tuple[str, float, float]]:
+    return [(r.table_name, r.joinability, r.unionability) for r in results]
+
+
+def _bench_minhash() -> dict[str, object]:
+    values = [f"value-{i:07d}" for i in range(MINHASH_VALUES)]
+    started = time.perf_counter()
+    vectorized = minhash_signatures([values], num_permutations=128)
+    vectorized_seconds = time.perf_counter() - started
+
+    from repro.sketches.minhash import _stable_hash
+
+    _stable_hash.cache_clear()  # the scalar path must pay its own digests
+    started = time.perf_counter()
+    scalar = minhash_signatures_scalar([values], num_permutations=128)
+    scalar_seconds = time.perf_counter() - started
+
+    assert vectorized == scalar, "vectorized signatures diverged from scalar oracle"
+    return {
+        "distinct_values": MINHASH_VALUES,
+        "num_permutations": 128,
+        "scalar_seconds": round(scalar_seconds, 4),
+        "vectorized_seconds": round(vectorized_seconds, 4),
+        "speedup": round(scalar_seconds / vectorized_seconds, 2),
+        "identical_signatures": True,
+    }
+
+
+def _bench_build_and_query(workdir: Path) -> tuple[dict[str, object], dict[str, object]]:
+    lake_dir = workdir / "lake"
+    lake_dir.mkdir()
+    for i in range(NUM_CANDIDATES):
+        table = tpcdi_prospect_table(num_rows=CANDIDATE_ROWS, seed=100 + i)
+        write_csv(table.rename(f"candidate_{i:03d}"), lake_dir / f"candidate_{i:03d}.csv")
+    csv_paths = sorted(lake_dir.glob("*.csv"))
+
+    started = time.perf_counter()
+    with SketchStore(workdir / "serial.sketches") as serial_store:
+        build_from_paths(serial_store, csv_paths)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    store = SketchStore(workdir / "lake.sketches")
+    build_from_paths(store, csv_paths, workers=BUILD_WORKERS)
+    parallel_seconds = time.perf_counter() - started
+
+    build_stats = {
+        "tables": NUM_CANDIDATES,
+        "rows_per_table": CANDIDATE_ROWS,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "serial_tables_per_second": round(NUM_CANDIDATES / serial_seconds, 1),
+        "workers": BUILD_WORKERS,
+        "parallel_seconds": round(parallel_seconds, 3),
+        "parallel_tables_per_second": round(NUM_CANDIDATES / parallel_seconds, 1),
+        "parallel_speedup": round(serial_seconds / parallel_seconds, 2),
+    }
+
+    matcher = SemPropMatcher()
+    query = tpcdi_prospect_table(num_rows=QUERY_ROWS, seed=1).rename("query_prospects")
+    # Warm shared singletons (thesaurus, embeddings, ontology memos) so
+    # neither path pays one-off initialisation inside its timing.
+    matcher.get_matches(
+        tpcdi_prospect_table(num_rows=5, seed=8),
+        tpcdi_prospect_table(num_rows=5, seed=9),
+    )
+
+    cold_engine = LakeDiscoveryEngine(
+        matcher=matcher,
+        store=store,
+        min_candidates=NUM_CANDIDATES,
+        candidate_multiplier=NUM_CANDIDATES,
+    )
+    started = time.perf_counter()
+    cold_results = cold_engine.query(query, top_k=10)
+    cold_seconds = time.perf_counter() - started
+
+    prepared_store = PreparedStore(workdir / "lake.sketches.prepared")
+    started = time.perf_counter()
+    prepare_report = prepare_lake(store, prepared_store, matcher, workers=BUILD_WORKERS)
+    prepare_seconds = time.perf_counter() - started
+
+    warm_engine = LakeDiscoveryEngine(
+        matcher=matcher,
+        store=store,
+        prepared_store=prepared_store,
+        min_candidates=NUM_CANDIDATES,
+        candidate_multiplier=NUM_CANDIDATES,
+    )
+    started = time.perf_counter()
+    warm_results = warm_engine.query(query, top_k=10)
+    warm_seconds = time.perf_counter() - started
+
+    assert _rankings(warm_results) == _rankings(cold_results), (
+        "warm rankings diverged from the cold baseline"
+    )
+    assert prepared_store.hits == warm_engine.last_rerank_count, (
+        "warm query did not serve every candidate from the prepared store"
+    )
+    query_stats = {
+        "matcher": "SemProp",
+        "candidates_reranked": warm_engine.last_rerank_count,
+        "query_rows": QUERY_ROWS,
+        "candidate_rows": CANDIDATE_ROWS,
+        "cold_seconds": round(cold_seconds, 3),
+        "prepare_lake_seconds": round(prepare_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "rankings_identical": True,
+    }
+    store.close()
+    prepared_store.close()
+    return build_stats, query_stats
+
+
+def test_warm_lake_query_benchmark():
+    workdir = Path(tempfile.mkdtemp(prefix="bench_pr4_"))
+    try:
+        minhash_stats = _bench_minhash()
+        build_stats, query_stats = _bench_build_and_query(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    payload = {
+        "benchmark": "bench_warm_lake_query",
+        "smoke": SMOKE,
+        "warm_lake_query": query_stats,
+        "lake_build": build_stats,
+        "minhash_sketching": minhash_stats,
+    }
+    _OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    lines = [
+        f"workload:   {NUM_CANDIDATES} candidates x {CANDIDATE_ROWS} rows, "
+        f"query {QUERY_ROWS} rows (smoke={SMOKE})",
+        f"lake query  cold: {query_stats['cold_seconds']:7.2f} s   "
+        f"warm: {query_stats['warm_seconds']:7.2f} s   "
+        f"speedup: {query_stats['speedup']:5.1f}x (rankings identical)",
+        f"lake build  serial: {build_stats['serial_seconds']:5.2f} s   "
+        f"{BUILD_WORKERS} workers: {build_stats['parallel_seconds']:5.2f} s   "
+        f"(cpus={build_stats['cpu_count']})",
+        f"minhash     scalar: {minhash_stats['scalar_seconds']:5.2f} s   "
+        f"vectorized: {minhash_stats['vectorized_seconds']:5.2f} s   "
+        f"speedup: {minhash_stats['speedup']:5.1f}x "
+        f"({minhash_stats['distinct_values']} values, identical signatures)",
+        f"written to  {_OUTPUT_PATH.name}",
+    ]
+    print_report(
+        "Warm lake query — persistent prepared store + vectorized MinHash (PR 4)",
+        "\n".join(lines),
+    )
+
+    if not SMOKE:
+        assert query_stats["speedup"] >= MIN_WARM_SPEEDUP, (
+            f"warm query only {query_stats['speedup']}x faster "
+            f"(< {MIN_WARM_SPEEDUP}x): {query_stats}"
+        )
+        assert minhash_stats["speedup"] >= MIN_MINHASH_SPEEDUP, (
+            f"vectorized minhash only {minhash_stats['speedup']}x faster "
+            f"(< {MIN_MINHASH_SPEEDUP}x): {minhash_stats}"
+        )

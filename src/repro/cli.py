@@ -10,15 +10,15 @@ Subcommands:
   Figure 4–6 style summaries;
 * ``match`` — match two CSV files with a chosen method and print the ranked
   matches;
-* ``lake build`` / ``lake query`` — maintain a persistent column-sketch
-  store over a directory of CSV files and run index-accelerated discovery
-  queries against it.
+* ``lake build`` / ``lake prepare`` / ``lake query`` — maintain a
+  persistent column-sketch store over a directory of CSV files (optionally
+  sketching in a process pool), pre-warm the prepared-candidate store for a
+  matcher, and run index-accelerated discovery queries against it.
 """
 
 from __future__ import annotations
 
 import argparse
-import csv
 import sys
 from pathlib import Path
 
@@ -86,6 +86,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also drop store tables whose CSV is no longer in the input directory",
     )
+    build.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="read + sketch CSVs in a process pool of this size "
+        "(the store is still written by this process only)",
+    )
+
+    prepare = lake_commands.add_parser(
+        "prepare",
+        help="pre-warm the prepared-candidate store for one matcher",
+    )
+    prepare.add_argument("method", help="registered matcher name to prepare for")
+    prepare.add_argument("--store", type=Path, default=Path("lake.sketches"), help="store path")
+    prepare.add_argument(
+        "--prepared-store",
+        type=Path,
+        default=None,
+        help="prepared-candidate store path (default: <store>.prepared)",
+    )
+    prepare.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="prepare tables in a process pool of this size",
+    )
 
     query = lake_commands.add_parser("query", help="discover related tables for a CSV")
     query.add_argument("query_csv", type=Path)
@@ -101,6 +127,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="process-pool size; implies --parallel (default: executor's choice)",
+    )
+    query.add_argument(
+        "--prepared-store",
+        type=Path,
+        default=None,
+        help="prepared-candidate store path (default: <store>.prepared); "
+        "warm candidates skip CSV loading and preparation entirely",
+    )
+    query.add_argument(
+        "--no-prepared-store",
+        action="store_true",
+        help="disable the prepared-candidate store (the PR 3 cold path)",
     )
 
     return parser
@@ -161,8 +199,14 @@ def _command_match(source_csv: Path, target_csv: Path, method: str, top: int) ->
     return 0
 
 
-def _command_lake_build(input_dir: Path, store_path: Path, prune: bool) -> int:
-    from repro.lake import SketchStore
+def _default_prepared_store_path(store_path: Path) -> Path:
+    return store_path.with_name(store_path.name + ".prepared")
+
+
+def _command_lake_build(
+    input_dir: Path, store_path: Path, prune: bool, workers: int | None
+) -> int:
+    from repro.lake import SketchStore, build_from_paths
 
     csv_paths = sorted(input_dir.glob("*.csv"))
     if not csv_paths:
@@ -174,20 +218,13 @@ def _command_lake_build(input_dir: Path, store_path: Path, prune: bool) -> int:
         print(str(exc), file=sys.stderr)
         return 1
     with store:
-        sketched = skipped = pruned = 0
-        unreadable: list[str] = []
-        for path in csv_paths:
-            try:
-                table = read_csv(path)
-            except (OSError, ValueError, csv.Error) as exc:
-                print(f"skipping unreadable {path}: {exc}", file=sys.stderr)
-                unreadable.append(path.stem)
-                continue
-            # Absolute paths so `lake query` resolves from any working dir.
-            if store.add_table(table, source_path=path.resolve()):
-                sketched += 1
-            else:
-                skipped += 1
+        report = build_from_paths(
+            store,
+            csv_paths,
+            workers=workers,
+            on_unreadable=lambda message: print(message, file=sys.stderr),
+        )
+        pruned = 0
         if prune:
             # Unreadable CSVs are still present on disk: keep their sketches.
             current = {path.stem for path in csv_paths}
@@ -196,11 +233,46 @@ def _command_lake_build(input_dir: Path, store_path: Path, prune: bool) -> int:
                     store.remove_table(name)
                     pruned += 1
     suffix = f", {pruned} pruned" if prune else ""
-    if unreadable:
-        suffix += f", {len(unreadable)} unreadable (skipped)"
+    if report.unreadable:
+        suffix += f", {len(report.unreadable)} unreadable (skipped)"
+    if workers and workers > 1:
+        suffix += f" [{workers} workers]"
     print(
-        f"store {store_path}: {sketched} tables sketched, "
-        f"{skipped} unchanged (cache hits){suffix}"
+        f"store {store_path}: {report.sketched} tables sketched, "
+        f"{report.unchanged} unchanged (cache hits){suffix}"
+    )
+    return 0
+
+
+def _command_lake_prepare(
+    method: str, store_path: Path, prepared_path: Path | None, workers: int | None
+) -> int:
+    from repro.discovery.prepared import PreparedStore
+    from repro.lake import SketchStore, prepare_lake
+
+    if not store_path.exists():
+        print(f"no sketch store at {store_path}; run `lake build` first", file=sys.stderr)
+        return 1
+    resolved_prepared = prepared_path or _default_prepared_store_path(store_path)
+    try:
+        store = SketchStore(store_path)
+        prepared_store = PreparedStore(resolved_prepared)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    with store, prepared_store:
+        report = prepare_lake(store, prepared_store, create_matcher(method), workers=workers)
+    suffix = ""
+    if report.missing:
+        suffix += f", {len(report.missing)} missing source CSVs (skipped)"
+    if report.stale:
+        suffix += (
+            f", {len(report.stale)} changed since build "
+            "(stored under current content; re-run `lake build`)"
+        )
+    print(
+        f"prepared store {resolved_prepared}: {report.prepared} tables prepared "
+        f"with {method}, {report.already_stored} already stored{suffix}"
     )
     return 0
 
@@ -213,7 +285,10 @@ def _command_lake_query(
     top: int,
     parallel: bool,
     workers: int | None,
+    prepared_path: Path | None,
+    no_prepared_store: bool,
 ) -> int:
+    from repro.discovery.prepared import PreparedStore
     from repro.lake import LakeDiscoveryEngine, SketchStore
 
     if not store_path.exists():
@@ -225,8 +300,27 @@ def _command_lake_query(
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 1
+    prepared_store = None
+    if not no_prepared_store:
+        # Write-through: the first (cold) query warms this store, later
+        # queries with the same matcher config rerank without preparing.
+        try:
+            prepared_store = PreparedStore(
+                prepared_path or _default_prepared_store_path(store_path)
+            )
+        except ValueError as exc:
+            if prepared_path is not None:
+                # The user asked for this store explicitly: fail loudly.
+                print(str(exc), file=sys.stderr)
+                store.close()
+                return 1
+            # Default path unusable (read-only directory, foreign file):
+            # degrade to the cold path instead of failing the query.
+            print(f"prepared store unavailable, querying cold: {exc}", file=sys.stderr)
     with store:
-        engine = LakeDiscoveryEngine(matcher=create_matcher(method), store=store)
+        engine = LakeDiscoveryEngine(
+            matcher=create_matcher(method), store=store, prepared_store=prepared_store
+        )
         results = engine.query(
             query,
             mode=mode,
@@ -234,9 +328,13 @@ def _command_lake_query(
             parallel=parallel or workers is not None,
             max_workers=workers,
         )
+        warm_note = ""
+        if prepared_store is not None:
+            warm_note = f", {engine.last_store_hits} served from the prepared store"
+            prepared_store.close()
         print(
             f"query {query.name!r} against {len(store)} tables "
-            f"({engine.last_rerank_count} candidates reranked with {method})"
+            f"({engine.last_rerank_count} candidates reranked with {method}{warm_note})"
         )
     for result in results:
         best = result.scores.best_pair
@@ -264,7 +362,11 @@ def main(argv: list[str] | None = None) -> int:
         return _command_match(args.source_csv, args.target_csv, args.method, args.top)
     if args.command == "lake":
         if args.lake_command == "build":
-            return _command_lake_build(args.input, args.store, args.prune)
+            return _command_lake_build(args.input, args.store, args.prune, args.workers)
+        if args.lake_command == "prepare":
+            return _command_lake_prepare(
+                args.method, args.store, args.prepared_store, args.workers
+            )
         return _command_lake_query(
             args.query_csv,
             args.store,
@@ -273,6 +375,8 @@ def main(argv: list[str] | None = None) -> int:
             args.top,
             args.parallel,
             args.workers,
+            args.prepared_store,
+            args.no_prepared_store,
         )
     parser.error(f"unknown command {args.command!r}")
     return 2

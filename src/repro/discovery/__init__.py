@@ -1,7 +1,11 @@
 """Dataset discovery layer: table-level relatedness, repository search, feedback."""
 
 from repro.discovery.feedback import FeedbackDecision, FeedbackSession
-from repro.discovery.prepared import PreparedTableCache
+from repro.discovery.prepared import (
+    PREPARED_PAYLOAD_FORMAT,
+    PreparedStore,
+    PreparedTableCache,
+)
 from repro.discovery.relatedness import RelatednessScores, joinability, relatedness, unionability
 from repro.discovery.search import (
     DatasetRepository,
@@ -21,6 +25,8 @@ __all__ = [
     "DiscoveryResult",
     "PairScorer",
     "PreparedTableCache",
+    "PreparedStore",
+    "PREPARED_PAYLOAD_FORMAT",
     "prune_then_rerank",
     "FeedbackDecision",
     "FeedbackSession",

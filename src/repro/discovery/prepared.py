@@ -1,38 +1,84 @@
-"""LRU cache of prepared tables for the two-phase matcher protocol.
+"""Prepared-table reuse: an in-process LRU cache and a persistent store.
 
 :meth:`BaseMatcher.prepare <repro.matchers.base.BaseMatcher.prepare>` is the
 per-table half of matching — tokenised names, value sets, sketches, schema
 trees.  Within one discovery query the engines already prepare the query
-exactly once; this cache extends the amortisation *across* queries and —
-on serial reranks — across repeated candidates: repository tables that
-appear in many shortlists, or a dashboard that re-runs similar queries, hit
-the cache instead of re-preparing.  (Parallel reranks prepare candidates in
-worker processes, which cannot see this in-process cache; only the query is
-served from it there.)
+exactly once; the two classes here extend the amortisation further:
+
+* :class:`PreparedTableCache` — a bounded in-memory LRU.  Repository tables
+  that appear in many shortlists, or a dashboard that re-runs similar
+  queries, hit the cache instead of re-preparing.
+* :class:`PreparedStore` — the same mapping persisted to SQLite, so a *warm*
+  lake query reranks without preparing any candidate at all, across process
+  restarts.  :class:`~repro.lake.engine.LakeDiscoveryEngine` keeps one next
+  to its sketch store and serves shortlisted candidates straight from it.
 
 Entries are keyed by ``(matcher fingerprint, table name, content hash)``:
 
 * the **matcher fingerprint** (:meth:`BaseMatcher.fingerprint`) ties a
-  payload to the exact matcher class *and configuration* that produced it —
-  changing a threshold yields a different fingerprint and a cache miss;
+  payload to the matcher class and every configuration parameter its
+  ``prepare`` consumes — changing a prepare-relevant parameter yields a
+  different fingerprint and a cache miss (parameters that only shape the
+  pairwise stage are excluded via
+  :meth:`BaseMatcher.prepare_parameters`, so sweeping them reuses entries);
 * the **table name** keeps same-content tables distinct — lakes routinely
   hold identical copies under different names, and match results carry the
   table name in their column refs;
 * the **content hash** (:func:`repro.data.fingerprint.table_content_hash`)
   ties the entry to the table's full schema + cell content, so mutated
   tables can never serve stale artifacts.
+
+Persistence format: payloads are pickled :class:`PreparedTable` bundles
+(table included, so a warm rerank does not even re-read the CSV).  Every row
+records the payload format version; opening a store whose schema version is
+newer than this code raises, while rows with a *different payload format*
+(or rows that fail to unpickle) are treated as misses and replaced — the
+versioning policy is "re-prepare on any format change", never "best-effort
+decode".  Bump ``PREPARED_PAYLOAD_FORMAT`` whenever the pickled layout of
+``PreparedTable`` or any matcher payload changes shape.
 """
 
 from __future__ import annotations
 
+import pickle
+import sqlite3
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.data.fingerprint import table_content_hash
 from repro.data.table import Table
 from repro.matchers.base import BaseMatcher, PreparedTable
 
-__all__ = ["PreparedTableCache"]
+__all__ = ["PreparedTableCache", "PreparedStore", "PREPARED_PAYLOAD_FORMAT"]
+
+#: Version of the pickled payload layout.  Readers only trust rows carrying
+#: exactly this format; anything else is re-prepared and overwritten.
+PREPARED_PAYLOAD_FORMAT = 1
+
+#: Pickle protocol used for stored payloads.  Pinned (not HIGHEST_PROTOCOL)
+#: so stores written by a newer Python remain readable by older ones.
+_PICKLE_PROTOCOL = 4
+
+_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS prepared (
+    matcher_fingerprint TEXT NOT NULL,
+    table_name TEXT NOT NULL,
+    content_hash TEXT NOT NULL,
+    payload_format INTEGER NOT NULL,
+    payload BLOB NOT NULL,
+    last_used INTEGER NOT NULL,
+    PRIMARY KEY (matcher_fingerprint, table_name, content_hash)
+);
+CREATE INDEX IF NOT EXISTS prepared_lru ON prepared (last_used);
+"""
 
 
 @dataclass
@@ -45,9 +91,15 @@ class PreparedTableCache:
         Maximum number of prepared tables kept (least recently used entries
         are evicted first).  Payload sizes vary wildly across matchers, so
         the bound is on entry count, not bytes.
+    backing:
+        Optional second tier consulted on a miss — anything with the same
+        ``prepare(matcher, table, content_hash=...)`` contract, typically a
+        :class:`PreparedStore`.  Entries fetched (or computed) by the
+        backing tier are promoted into this in-memory cache.
     """
 
     max_entries: int = 128
+    backing: Optional["PreparedStore"] = None
     hits: int = field(default=0, init=False)
     misses: int = field(default=0, init=False)
     _entries: "OrderedDict[tuple[str, str, str], PreparedTable]" = field(
@@ -58,16 +110,26 @@ class PreparedTableCache:
         if self.max_entries <= 0:
             raise ValueError("max_entries must be positive")
 
-    def prepare(self, matcher: BaseMatcher, table: Table) -> PreparedTable:
+    def prepare(
+        self,
+        matcher: BaseMatcher,
+        table: Table,
+        content_hash: Optional[str] = None,
+    ) -> PreparedTable:
         """Return ``matcher.prepare(table)``, served from cache when possible."""
-        key = (matcher.fingerprint(), table.name, table_content_hash(table))
+        if content_hash is None:
+            content_hash = table_content_hash(table)
+        key = (matcher.fingerprint(), table.name, content_hash)
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
             self._entries.move_to_end(key)
             return cached
         self.misses += 1
-        prepared = matcher.prepare(table)
+        if self.backing is not None:
+            prepared = self.backing.prepare(matcher, table, content_hash=content_hash)
+        else:
+            prepared = matcher.prepare(table)
         self._entries[key] = prepared
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
@@ -85,5 +147,282 @@ class PreparedTableCache:
     @property
     def hit_rate(self) -> float:
         """Fraction of :meth:`prepare` calls served from cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PreparedStore:
+    """A persistent, bounded collection of prepared tables (SQLite-backed).
+
+    The on-disk half of prepared-table reuse: payloads survive process
+    restarts, so a warm :meth:`LakeDiscoveryEngine.query
+    <repro.lake.engine.LakeDiscoveryEngine.query>` reranks its shortlist
+    without preparing — or even loading — any candidate table.
+
+    Parameters
+    ----------
+    path:
+        SQLite database path; ``":memory:"`` gives an ephemeral store.
+        Conventionally ``<sketch store path>.prepared``, next to the lake's
+        sketch store.
+    max_entries:
+        LRU size cap.  Prepared payloads embed their table, so the cap
+        bounds disk usage; least-recently-*used* rows are evicted when an
+        insert overflows it.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path] = ":memory:",
+        max_entries: int = 4096,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.path = str(path)
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        # LRU bookkeeping is deferred: hits record their key here and the
+        # batch is flushed in one transaction (on write, threshold or close)
+        # so the warm read path never pays a per-get commit.
+        self._pending_touches: "OrderedDict[tuple[str, str, str], None]" = OrderedDict()
+        self._connection = None
+        try:
+            self._connection = sqlite3.connect(self.path)
+            existing = {
+                row[0]
+                for row in self._connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+            if existing and not {"meta", "prepared"} <= existing:
+                self._connection.close()
+                raise ValueError(
+                    f"{self.path!r} is a SQLite database but not a prepared store"
+                )
+            self._connection.executescript(_SCHEMA)
+        except sqlite3.Error as exc:
+            if self._connection is not None:
+                self._connection.close()
+            raise ValueError(
+                f"cannot open {self.path!r} as a prepared store (SQLite) file: {exc}"
+            ) from exc
+        stored = self._read_meta("schema_version")
+        if stored is None:
+            with self._connection:
+                self._write_meta("schema_version", str(_SCHEMA_VERSION))
+                self._write_meta("payload_format", str(PREPARED_PAYLOAD_FORMAT))
+                self._write_meta("clock", "0")
+        elif int(stored) != _SCHEMA_VERSION:
+            self._connection.close()
+            raise ValueError(
+                f"prepared store at {self.path!r} has schema version {stored}, "
+                f"this code reads version {_SCHEMA_VERSION}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the underlying connection (the store object becomes unusable)."""
+        try:
+            self._flush_touches()
+        except sqlite3.Error:  # pragma: no cover - defensive on teardown
+            pass
+        self._connection.close()
+
+    def __enter__(self) -> "PreparedStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # meta helpers
+    # ------------------------------------------------------------------ #
+    def _read_meta(self, key: str) -> Optional[str]:
+        row = self._connection.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return row[0] if row else None
+
+    def _write_meta(self, key: str, value: str) -> None:
+        self._connection.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (key, value),
+        )
+
+    def _tick(self) -> int:
+        """Advance and return the monotone LRU clock (wall-clock free)."""
+        clock = int(self._read_meta("clock") or 0) + 1
+        self._write_meta("clock", str(clock))
+        return clock
+
+    #: Deferred LRU touches are flushed once this many keys accumulate.
+    _TOUCH_FLUSH_THRESHOLD = 1024
+
+    def _flush_touches(self) -> None:
+        """Write the deferred ``last_used`` updates in one transaction."""
+        if not self._pending_touches:
+            return
+        with self._connection:
+            for fingerprint, table_name, content_hash in self._pending_touches:
+                self._connection.execute(
+                    "UPDATE prepared SET last_used = ? WHERE matcher_fingerprint = ? "
+                    "AND table_name = ? AND content_hash = ?",
+                    (self._tick(), fingerprint, table_name, content_hash),
+                )
+        self._pending_touches.clear()
+
+    # ------------------------------------------------------------------ #
+    # core operations
+    # ------------------------------------------------------------------ #
+    def get(
+        self, fingerprint: str, table_name: str, content_hash: str
+    ) -> Optional[PreparedTable]:
+        """Load the stored :class:`PreparedTable` for a key, or ``None``.
+
+        Rows carrying a foreign payload format, rows that fail to unpickle,
+        and rows whose decoded fingerprint does not match are discarded (and
+        deleted) rather than trusted — the caller re-prepares.  A successful
+        load counts as a hit; probes that find nothing are not counted (the
+        eventual :meth:`prepare` records the miss exactly once).
+        """
+        row = self._connection.execute(
+            "SELECT payload_format, payload FROM prepared "
+            "WHERE matcher_fingerprint = ? AND table_name = ? AND content_hash = ?",
+            (fingerprint, table_name, content_hash),
+        ).fetchone()
+        if row is None:
+            return None
+        payload_format, blob = row
+        prepared: Optional[PreparedTable] = None
+        if payload_format == PREPARED_PAYLOAD_FORMAT:
+            try:
+                decoded = pickle.loads(blob)
+            except Exception:
+                decoded = None
+            if (
+                isinstance(decoded, PreparedTable)
+                and decoded.fingerprint == fingerprint
+                and decoded.table.name == table_name
+            ):
+                prepared = decoded
+        if prepared is None:
+            with self._connection:
+                self._connection.execute(
+                    "DELETE FROM prepared WHERE matcher_fingerprint = ? "
+                    "AND table_name = ? AND content_hash = ?",
+                    (fingerprint, table_name, content_hash),
+                )
+            return None
+        key = (fingerprint, table_name, content_hash)
+        self._pending_touches.pop(key, None)
+        self._pending_touches[key] = None
+        if len(self._pending_touches) >= self._TOUCH_FLUSH_THRESHOLD:
+            self._flush_touches()
+        self.hits += 1
+        return prepared
+
+    def put(self, prepared: PreparedTable, content_hash: Optional[str] = None) -> None:
+        """Persist one prepared table (replacing any entry under its key)."""
+        if content_hash is None:
+            content_hash = table_content_hash(prepared.table)
+        blob = pickle.dumps(prepared, protocol=_PICKLE_PROTOCOL)
+        # Settle deferred hit recency first so LRU eviction below never
+        # victimises a row that was just served.
+        self._flush_touches()
+        with self._connection:
+            self._connection.execute(
+                "INSERT INTO prepared (matcher_fingerprint, table_name, content_hash, "
+                "payload_format, payload, last_used) VALUES (?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(matcher_fingerprint, table_name, content_hash) DO UPDATE "
+                "SET payload_format = excluded.payload_format, "
+                "payload = excluded.payload, last_used = excluded.last_used",
+                (
+                    prepared.fingerprint,
+                    prepared.table.name,
+                    content_hash,
+                    PREPARED_PAYLOAD_FORMAT,
+                    blob,
+                    self._tick(),
+                ),
+            )
+            overflow = len(self) - self.max_entries
+            if overflow > 0:
+                self._connection.execute(
+                    "DELETE FROM prepared WHERE rowid IN ("
+                    "SELECT rowid FROM prepared ORDER BY last_used LIMIT ?)",
+                    (overflow,),
+                )
+
+    def prepare(
+        self,
+        matcher: BaseMatcher,
+        table: Table,
+        content_hash: Optional[str] = None,
+    ) -> PreparedTable:
+        """Return ``matcher.prepare(table)``, served from disk when possible.
+
+        The write-through provider contract shared with
+        :class:`PreparedTableCache`: a miss computes the payload and persists
+        it, so one cold rerank warms the store for every later query.
+        """
+        if content_hash is None:
+            content_hash = table_content_hash(table)
+        prepared = self.get(matcher.fingerprint(), table.name, content_hash)
+        if prepared is not None:
+            return prepared
+        self.misses += 1
+        prepared = matcher.prepare(table)
+        self.put(prepared, content_hash=content_hash)
+        return prepared
+
+    # ------------------------------------------------------------------ #
+    # introspection / maintenance
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._connection.execute("SELECT COUNT(*) FROM prepared").fetchone()[0]
+
+    def __contains__(self, key: tuple[str, str, str]) -> bool:
+        """Cheap existence probe (no payload decode, no LRU touch).
+
+        Only rows carrying the current payload format count: a row
+        :meth:`get` would discard anyway must not report as present.
+        """
+        fingerprint, table_name, content_hash = key
+        row = self._connection.execute(
+            "SELECT 1 FROM prepared WHERE matcher_fingerprint = ? "
+            "AND table_name = ? AND content_hash = ? AND payload_format = ?",
+            (fingerprint, table_name, content_hash, PREPARED_PAYLOAD_FORMAT),
+        ).fetchone()
+        return row is not None
+
+    def table_names(self, fingerprint: Optional[str] = None) -> list[str]:
+        """Distinct table names with stored payloads (optionally per matcher)."""
+        if fingerprint is None:
+            rows = self._connection.execute(
+                "SELECT DISTINCT table_name FROM prepared ORDER BY table_name"
+            ).fetchall()
+        else:
+            rows = self._connection.execute(
+                "SELECT DISTINCT table_name FROM prepared "
+                "WHERE matcher_fingerprint = ? ORDER BY table_name",
+                (fingerprint,),
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def clear(self) -> None:
+        """Drop every stored payload and reset the hit/miss counters."""
+        self._pending_touches.clear()
+        with self._connection:
+            self._connection.execute("DELETE FROM prepared")
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of :meth:`prepare` calls served from disk (0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0

@@ -202,7 +202,7 @@ def _rerank_worker_init(scorer: PairScorer, query: PreparedTable) -> None:
     _WORKER_QUERY = query
 
 
-def _rerank_worker_score(candidate: Table) -> DiscoveryResult:
+def _rerank_worker_score(candidate: Union[Table, PreparedTable]) -> DiscoveryResult:
     assert _WORKER_SCORER is not None and _WORKER_QUERY is not None
     return _WORKER_SCORER.score_prepared(_WORKER_QUERY, candidate)
 
@@ -210,7 +210,7 @@ def _rerank_worker_score(candidate: Table) -> DiscoveryResult:
 def prune_then_rerank(
     query: Table,
     candidate_names: Iterable[str],
-    resolve: Callable[[str], Optional[Table]],
+    resolve: Callable[[str], Optional[Union[Table, PreparedTable]]],
     scorer: PairScorer,
     mode: str = "joinable",
     top_k: Optional[int] = None,
@@ -231,8 +231,11 @@ def prune_then_rerank(
         is always skipped.
     resolve:
         Injectable resolution strategy turning a name into a table
-        (repository lookup, lazy CSV read...).  Returning ``None`` drops the
-        candidate (it cannot be ranked without values).
+        (repository lookup, lazy CSV read...) or directly into a
+        :class:`PreparedTable` (e.g. the lake engine's persistent
+        prepared-candidate store), which skips the prepare stage entirely
+        for that candidate.  Returning ``None`` drops the candidate (it
+        cannot be ranked without values).
     scorer:
         The pair scorer (matcher + unionability threshold).
     mode:
@@ -243,11 +246,14 @@ def prune_then_rerank(
         Rerank in a process pool.  Workers receive the scorer and the
         prepared query once each via the pool initializer.
     prepared_cache:
-        Optional :class:`~repro.discovery.prepared.PreparedTableCache`; when
-        given, the query's prepared table — and, on the serial path, every
-        candidate's — is served from / stored into it.  (Parallel reranks
-        prepare candidates inside worker processes, which cannot see the
-        parent's cache.)
+        Optional prepared provider — a
+        :class:`~repro.discovery.prepared.PreparedTableCache`, a
+        :class:`~repro.discovery.prepared.PreparedStore`, or anything else
+        with their ``prepare(matcher, table, content_hash=...)`` contract.
+        When given, the query's prepared table — and, on the serial path,
+        every candidate's — is served from / written through it.  (Parallel
+        reranks prepare candidates inside worker processes, which cannot
+        see the parent's provider.)
 
     Returns
     -------
@@ -257,7 +263,7 @@ def prune_then_rerank(
     """
     if mode not in ("joinable", "unionable", "combined"):
         raise ValueError(f"unknown discovery mode {mode!r}")
-    candidates: list[Table] = []
+    candidates: list[Union[Table, PreparedTable]] = []
     for name in candidate_names:
         if name == query.name:
             continue
@@ -270,7 +276,9 @@ def prune_then_rerank(
         query_prepared = scorer.matcher.prepare(query)
     if parallel and len(candidates) > 1:
         # Candidates are prepared inside the workers; the (parent-process)
-        # prepared cache only serves the query on this path.
+        # prepared cache only serves the query on this path.  Candidates the
+        # resolver already delivered as PreparedTable ship their payload to
+        # the worker and skip the prepare there too.
         with ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_rerank_worker_init,
@@ -281,6 +289,8 @@ def prune_then_rerank(
         # Candidate-side caching only pays off when the matcher actually
         # consumes prepared payloads; a legacy get_matches override discards
         # them, so skip the per-candidate content hashing for those.
+        # Candidates resolved straight to a PreparedTable bypass the cache —
+        # they already are the thing the cache would produce.
         cache_candidates = (
             prepared_cache is not None
             and not scorer.matcher.prefers_legacy_get_matches()
@@ -289,7 +299,7 @@ def prune_then_rerank(
             scorer.score_prepared(
                 query_prepared,
                 prepared_cache.prepare(scorer.matcher, candidate)
-                if cache_candidates
+                if cache_candidates and not isinstance(candidate, PreparedTable)
                 else candidate,
             )
             for candidate in candidates

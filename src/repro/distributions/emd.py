@@ -37,10 +37,14 @@ def emd_1d(weights_a: Sequence[float], weights_b: Sequence[float]) -> float:
     b = np.asarray(weights_b, dtype=float)
     if a.shape != b.shape:
         raise ValueError(f"histograms must share a bucket grid: {a.shape} vs {b.shape}")
-    if a.sum() > 0:
-        a = a / a.sum()
-    if b.sum() > 0:
-        b = b / b.sum()
+    # Fully vectorised: normalise, difference, prefix-sum (cumulative CDF
+    # gap) and L1-reduce without materialising intermediate Python floats.
+    total_a = a.sum()
+    total_b = b.sum()
+    if total_a > 0:
+        a = a / total_a
+    if total_b > 0:
+        b = b / total_b
     return float(np.abs(np.cumsum(a - b)).sum())
 
 

@@ -118,13 +118,20 @@ def build_histogram(
         max_rank = max(ranks.values()) if ranks else 0
     upper = float(max_rank) + 1.0
     edges = np.linspace(0.0, upper, num_buckets + 1)
-    counts = np.zeros(num_buckets, dtype=float)
-    for value in values:
-        rank = ranks.get(value)
-        if rank is None:
-            continue
-        bucket = min(int(rank / upper * num_buckets), num_buckets - 1)
-        counts[bucket] += 1.0
+    # Ranks are looked up in Python (dict of arbitrary objects) but the
+    # bucket arithmetic and counting are one vectorised pass: same
+    # ``int(rank / upper * num_buckets)`` truncation as the old per-value
+    # loop, so bucket assignment is bit-identical.
+    get_rank = ranks.get
+    rank_list = [r for r in map(get_rank, values) if r is not None]
+    if rank_list:
+        rank_array = np.asarray(rank_list, dtype=float)
+        buckets = np.minimum(
+            (rank_array / upper * num_buckets).astype(np.int64), num_buckets - 1
+        )
+        counts = np.bincount(buckets, minlength=num_buckets).astype(float)
+    else:
+        counts = np.zeros(num_buckets, dtype=float)
     total = counts.sum()
     weights = counts / total if total > 0 else counts
     return QuantileHistogram(tuple(edges.tolist()), tuple(weights.tolist()))

@@ -12,9 +12,12 @@ compact per-column sketches first.  This package provides that layer:
 * :mod:`repro.lake.index` — :class:`LakeIndex`, a MinHash LSH banding index
   with type/histogram pre-filters returning top-k candidate tables;
 * :mod:`repro.lake.engine` — :class:`LakeDiscoveryEngine`, prune with the
-  index then rerank only the survivors with any registered matcher.
+  index then rerank only the survivors with any registered matcher;
+* :mod:`repro.lake.build` — parallel (process-pool) lake construction and
+  prepared-store pre-warming with a single-writer commit.
 """
 
+from repro.lake.build import BuildReport, PrepareReport, build_from_paths, prepare_lake
 from repro.lake.engine import LakeDiscoveryEngine
 from repro.lake.index import CandidateTable, LakeIndex, LSHParams
 from repro.lake.profiles import (
@@ -37,4 +40,8 @@ __all__ = [
     "CandidateTable",
     "LakeIndex",
     "LakeDiscoveryEngine",
+    "BuildReport",
+    "PrepareReport",
+    "build_from_paths",
+    "prepare_lake",
 ]

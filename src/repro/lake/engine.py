@@ -31,7 +31,7 @@ from typing import Iterable, Optional, Union
 
 from repro.data.csv_io import read_csv
 from repro.data.table import Table
-from repro.discovery.prepared import PreparedTableCache
+from repro.discovery.prepared import PreparedStore, PreparedTableCache
 from repro.discovery.search import (
     DEFAULT_CANDIDATE_MULTIPLIER,
     DEFAULT_MIN_CANDIDATES,
@@ -44,7 +44,7 @@ from repro.discovery.search import (
 from repro.lake.index import CandidateTable, LakeIndex, LSHParams
 from repro.lake.profiles import sketch_table
 from repro.lake.store import SketchStore
-from repro.matchers.base import BaseMatcher
+from repro.matchers.base import BaseMatcher, PreparedTable
 
 __all__ = ["LakeDiscoveryEngine"]
 
@@ -70,6 +70,16 @@ class LakeDiscoveryEngine:
     prepared_cache:
         Optional :class:`~repro.discovery.prepared.PreparedTableCache`
         reusing prepared query tables across :meth:`query` calls.
+    prepared_store:
+        Optional :class:`~repro.discovery.prepared.PreparedStore` — the
+        persistent prepared-candidate store, conventionally living next to
+        the sketch store.  When set, shortlisted candidates whose prepared
+        payload is stored (keyed by this matcher's fingerprint and the
+        content hash recorded at build time) are served straight from disk
+        — no CSV read, no prepare — and cold candidates are written through
+        after their first prepare, so one query warms the next.  When a
+        ``prepared_cache`` is also set it fronts the store as the in-memory
+        tier (its ``backing`` is wired to the store).
     """
 
     matcher: BaseMatcher
@@ -79,9 +89,14 @@ class LakeDiscoveryEngine:
     candidate_multiplier: int = DEFAULT_CANDIDATE_MULTIPLIER
     min_candidates: int = DEFAULT_MIN_CANDIDATES
     prepared_cache: Optional[PreparedTableCache] = None
+    prepared_store: Optional[PreparedStore] = None
     #: How many candidates the matcher actually reranked in the last
     #: :meth:`query` (before top-k truncation) — the pruning statistic.
     last_rerank_count: int = field(default=0, repr=False, init=False)
+    #: How many of the last :meth:`query`'s candidates were served straight
+    #: from the prepared store (no CSV read, no prepare) — the warm-path
+    #: statistic.
+    last_store_hits: int = field(default=0, repr=False, init=False)
     _index: Optional[LakeIndex] = field(default=None, repr=False, init=False)
     _index_version: int = field(default=-1, repr=False, init=False)
 
@@ -141,13 +156,42 @@ class LakeDiscoveryEngine:
         sketch = sketch_table(query, self.store.config, content_hash="")
         return self.index.candidate_tables(sketch, top_k=limit)
 
+    def _prepared_provider(self) -> Optional[Union[PreparedTableCache, PreparedStore]]:
+        """The write-through prepared provider for this engine's reranks.
+
+        The in-memory cache (when present) fronts the persistent store: a
+        miss falls through to SQLite, a store miss computes and persists.
+        """
+        if self.prepared_cache is not None:
+            if self.prepared_store is not None:
+                self.prepared_cache.backing = self.prepared_store
+            return self.prepared_cache
+        return self.prepared_store
+
     def _resolve_candidate(
-        self, name: str, repository: Optional[DatasetRepository]
-    ) -> Optional[Table]:
+        self,
+        name: str,
+        repository: Optional[DatasetRepository],
+        fingerprint: Optional[str] = None,
+    ) -> Optional[Union[Table, PreparedTable]]:
         if repository is not None:
             table = repository.get(name)
             if table is not None:
                 return table
+        if fingerprint is not None and self.prepared_store is not None:
+            # Warm path: the stored payload embeds the table, so a hit
+            # skips the CSV read AND the prepare for this candidate.  Keyed
+            # by the content hash recorded at build time, so the warm rerank
+            # is consistent with the sketch shortlist: both answer as of the
+            # last `lake build`.  A CSV edited on disk keeps serving its
+            # build-time payload until the lake is rebuilt (the rebuild
+            # moves the stored hash, which invalidates this lookup).
+            stored_hash = self.store.content_hash(name)
+            if stored_hash:
+                prepared = self.prepared_store.get(fingerprint, name, stored_hash)
+                if prepared is not None:
+                    self.last_store_hits += 1
+                    return prepared
         path = self.store.source_path(name) if name in self.store else None
         if path is not None:
             try:
@@ -189,16 +233,26 @@ class LakeDiscoveryEngine:
             Pool size for the parallel path (default: executor's choice).
         """
         shortlist = self.shortlist(query, top_k=top_k)
+        self.last_store_hits = 0
+        # The prepared-store fast path hands fully prepared candidates to the
+        # rerank; matchers that insist on their legacy get_matches override
+        # consume raw tables, so the fast path is skipped for them.
+        fingerprint = (
+            self.matcher.fingerprint()
+            if self.prepared_store is not None
+            and not self.matcher.prefers_legacy_get_matches()
+            else None
+        )
         results, rerank_count = prune_then_rerank(
             query,
             [entry.table_name for entry in shortlist],
-            lambda name: self._resolve_candidate(name, repository),
+            lambda name: self._resolve_candidate(name, repository, fingerprint),
             PairScorer(matcher=self.matcher, union_threshold=self.union_threshold),
             mode=mode,
             top_k=top_k,
             parallel=parallel,
             max_workers=max_workers,
-            prepared_cache=self.prepared_cache,
+            prepared_cache=self._prepared_provider(),
         )
         self.last_rerank_count = rerank_count
         return results

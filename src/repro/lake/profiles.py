@@ -15,12 +15,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
+import numpy as np
+
 from repro.data.fingerprint import table_content_hash
 from repro.data.profiling import ColumnProfile, profile_column
 from repro.data.table import Column, Table
 from repro.data.types import DataType, type_compatibility
 from repro.distributions.histograms import build_histogram
-from repro.sketches.minhash import MinHashSignature, _stable_hash, minhash_signatures
+from repro.sketches.minhash import (
+    MinHashSignature,
+    _stable_hash,
+    hash_normalized_values,
+    minhash_signatures_from_hashes,
+)
 
 __all__ = [
     "SketchConfig",
@@ -74,15 +81,14 @@ def _hash_rank(value: object) -> int:
 
 
 def _hash_space_histogram(
-    values: list, distinct: set, num_buckets: int
+    values: list, ranks: Mapping[object, int], num_buckets: int
 ) -> tuple[float, ...]:
     """Histogram of a value multiset over the hashed rank domain.
 
-    *values* are the column's non-missing cells and *distinct* their set —
-    passed in so the caller's single column scan is shared with the MinHash
-    and profile passes.
+    *values* are the column's non-missing cells and *ranks* their
+    value→rank mapping — passed in so the caller's single column scan (and
+    single hashing pass, shared with MinHash) is reused here.
     """
-    ranks = {value: _hash_rank(value) for value in distinct}
     histogram = build_histogram(
         values, ranks, num_buckets=num_buckets, max_rank=_HASH_RANK_DOMAIN - 1
     )
@@ -238,29 +244,41 @@ def sketch_table(
         consulted.  Computed on demand when omitted.
     """
     columns = table.columns
-    # One non-missing/distinct scan per column, shared by all three passes
-    # (minhash, profile, histogram) — previously each pass re-traversed the
-    # raw cells.
+    # One non-missing/distinct scan AND one hashing pass per column, shared
+    # by all three passes (minhash, profile, histogram) — previously minhash
+    # and the hashed-rank histogram each digested the distinct values.
     scans = []
+    hash_arrays = []
+    rank_maps = []
     for column in columns:
         values = column.non_missing()
         distinct = set(values)
         scans.append((values, distinct))
-    # The signatures hash the normalised *distinct* values; handing over the
-    # distinct set (instead of the raw cells) skips the third full-column
-    # traversal — minhash_signatures normalises and dedups its input anyway,
-    # and a set of distinct raws yields the identical normalised string set.
-    signatures = minhash_signatures(
-        [distinct for _, distinct in scans],
+        # Normalise once; distinct raw values can collapse onto one
+        # normalised string, so hashes are computed over the normalised set.
+        normalized_of = {raw: str(raw).strip().lower() for raw in distinct}
+        normalized = list(dict.fromkeys(normalized_of.values()))
+        hashes = hash_normalized_values(normalized)
+        hash_arrays.append(hashes)
+        rank_of_normalized = dict(
+            zip(normalized, (hashes % np.uint64(_HASH_RANK_DOMAIN)).tolist())
+        )
+        rank_maps.append(
+            {raw: rank_of_normalized[norm] for raw, norm in normalized_of.items()}
+        )
+    signatures = minhash_signatures_from_hashes(
+        hash_arrays,
         num_permutations=config.num_permutations,
         seed=config.seed,
     )
     sketches = []
-    for column, (values, distinct), signature in zip(columns, scans, signatures):
+    for column, (values, distinct), ranks, signature in zip(
+        columns, scans, rank_maps, signatures
+    ):
         profile = profile_column(
             column, non_missing=values, distinct_count=len(distinct)
         )
-        histogram = _hash_space_histogram(values, distinct, config.num_buckets)
+        histogram = _hash_space_histogram(values, ranks, config.num_buckets)
         sketches.append(
             ColumnSketch.from_profile(profile, table.name, signature, histogram)
         )

@@ -180,25 +180,70 @@ class SketchStore:
         atomically.
         """
         content_hash = table_content_hash(table)
-        resolved_path = None if source_path is None else str(source_path)
-        row = self._connection.execute(
-            "SELECT content_hash, source_path FROM tables WHERE name = ?",
-            (table.name,),
-        ).fetchone()
-        if row is not None and row[0] == content_hash:
-            # Refresh a moved path, but never forget one: callers that add
-            # in-memory tables (no source_path) must not null the recorded one.
-            if resolved_path is not None and row[1] != resolved_path:
-                with self._connection:
-                    self._connection.execute(
-                        "UPDATE tables SET source_path = ? WHERE name = ?",
-                        (resolved_path, table.name),
-                    )
+        if self._is_unchanged(table.name, content_hash, source_path):
             return False
         sketch = sketch_table(table, self.config, content_hash=content_hash)
+        self._write_sketch(sketch, source_path)
+        return True
+
+    def add_sketch(
+        self, sketch: TableSketch, source_path: Optional[Union[str, Path]] = None
+    ) -> bool:
+        """Persist an already-computed sketch; returns whether it was written.
+
+        The single-writer half of the parallel lake build: worker processes
+        read and sketch CSVs, the owning process commits their results here.
+        Cache-hit semantics match :meth:`add_table` (an identical stored
+        content hash only refreshes a moved path).
+        """
+        if self._is_unchanged(sketch.name, sketch.content_hash, source_path):
+            return False
+        self._write_sketch(sketch, source_path)
+        return True
+
+    def _is_unchanged(
+        self,
+        name: str,
+        content_hash: str,
+        source_path: Optional[Union[str, Path]],
+    ) -> bool:
+        """True when *name* is stored with *content_hash* (refreshing the path)."""
+        row = self._connection.execute(
+            "SELECT content_hash FROM tables WHERE name = ?",
+            (name,),
+        ).fetchone()
+        if row is None or row[0] != content_hash:
+            return False
+        if source_path is not None:
+            self.refresh_source_path(name, source_path)
+        return True
+
+    def refresh_source_path(self, name: str, source_path: Union[str, Path]) -> None:
+        """Record a (possibly moved) source path for an existing table.
+
+        A no-op for unknown names and unchanged paths; never *clears* a
+        recorded path — callers that add in-memory tables (no source_path)
+        must not null the recorded one.
+        """
+        resolved_path = str(source_path)
+        row = self._connection.execute(
+            "SELECT source_path FROM tables WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None or row[0] == resolved_path:
+            return
         with self._connection:
             self._connection.execute(
-                "DELETE FROM columns WHERE table_name = ?", (table.name,)
+                "UPDATE tables SET source_path = ? WHERE name = ?",
+                (resolved_path, name),
+            )
+
+    def _write_sketch(
+        self, sketch: TableSketch, source_path: Optional[Union[str, Path]]
+    ) -> None:
+        resolved_path = None if source_path is None else str(source_path)
+        with self._connection:
+            self._connection.execute(
+                "DELETE FROM columns WHERE table_name = ?", (sketch.name,)
             )
             self._connection.execute(
                 "INSERT INTO tables (name, content_hash, num_rows, source_path, updated_version) "
@@ -207,9 +252,9 @@ class SketchStore:
                 "num_rows = excluded.num_rows, source_path = excluded.source_path, "
                 "updated_version = excluded.updated_version",
                 (
-                    table.name,
-                    content_hash,
-                    table.num_rows,
+                    sketch.name,
+                    sketch.content_hash,
+                    sketch.num_rows,
                     resolved_path,
                     self.version + 1,
                 ),
@@ -217,12 +262,11 @@ class SketchStore:
             self._connection.executemany(
                 "INSERT INTO columns (table_name, column_name, payload) VALUES (?, ?, ?)",
                 [
-                    (table.name, column.column_name, json.dumps(column.to_dict()))
+                    (sketch.name, column.column_name, json.dumps(column.to_dict()))
                     for column in sketch.columns
                 ],
             )
             self._bump_version()
-        return True
 
     def remove_table(self, name: str) -> bool:
         """Drop the sketch of *name*; returns whether it existed."""
@@ -266,6 +310,17 @@ class SketchStore:
             (version,),
         ).fetchall()
         return [row[0] for row in rows]
+
+    def content_hash(self, name: str) -> Optional[str]:
+        """The stored content hash of *name* (``None`` for unknown tables).
+
+        One indexed lookup — the warm discovery path uses it to key into the
+        prepared-candidate store without loading (or re-hashing) the table.
+        """
+        row = self._connection.execute(
+            "SELECT content_hash FROM tables WHERE name = ?", (name,)
+        ).fetchone()
+        return row[0] if row else None
 
     def source_path(self, name: str) -> Optional[str]:
         """The recorded source path of *name* (``None`` when not recorded)."""

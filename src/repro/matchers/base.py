@@ -236,19 +236,38 @@ class BaseMatcher(abc.ABC):
     # the two-phase protocol
     # ------------------------------------------------------------------ #
     def fingerprint(self) -> str:
-        """Stable identity of this matcher configuration.
+        """Stable identity of this matcher's *prepared artifacts*.
 
-        Keys prepared payloads and the
-        :class:`~repro.discovery.prepared.PreparedTableCache`: two matcher
-        instances with the same class, the same :meth:`parameters` and the
-        same :meth:`_fingerprint_extras` share prepared tables; any config
-        change produces a different fingerprint.
+        Keys prepared payloads, the
+        :class:`~repro.discovery.prepared.PreparedTableCache` and the
+        persistent :class:`~repro.discovery.prepared.PreparedStore`: two
+        matcher instances with the same class, the same
+        :meth:`prepare_parameters` and the same :meth:`_fingerprint_extras`
+        share prepared tables; changing any parameter that shapes
+        :meth:`prepare` output produces a different fingerprint.  Parameters
+        that only affect the pairwise stage (e.g. an acceptance threshold
+        applied in :meth:`match_prepared`) are deliberately excluded, so a
+        parameter sweep over them reuses one prepared payload per table.
         """
         cls = type(self)
-        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.parameters().items()))
+        params = ", ".join(
+            f"{k}={v!r}" for k, v in sorted(self.prepare_parameters().items())
+        )
         extras = self._fingerprint_extras()
         suffix = f" deps={extras!r}" if extras else ""
         return f"{cls.__module__}.{cls.__qualname__}({params}){suffix}"
+
+    def prepare_parameters(self) -> dict[str, object]:
+        """The subset of :meth:`parameters` that shapes :meth:`prepare` output.
+
+        The default is *all* parameters — always safe, never maximally
+        shared.  Matchers whose prepare stage provably ignores some
+        parameters override this to exclude them, which lets the prepared
+        caches and the experiment runner reuse payloads across a parameter
+        sweep.  Never exclude a parameter the prepare stage reads: a stale
+        payload would silently corrupt matches.
+        """
+        return self.parameters()
 
     def _fingerprint_extras(self) -> tuple[object, ...]:
         """Identity tokens of dependencies :meth:`parameters` cannot see.

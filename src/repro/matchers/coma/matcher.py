@@ -59,6 +59,20 @@ class _ComaBase(BaseMatcher):
     def _components(self) -> Sequence[ComponentMatcher]:
         raise NotImplementedError
 
+    def prepare_parameters(self) -> dict[str, object]:
+        """Only parameters consumed by a component's prepare stage.
+
+        ``threshold``/``aggregation``/``use_both_directions`` shape the
+        combination step in :meth:`match_prepared`; of the constructor
+        parameters only ``sample_size`` (COMA-Instance's value sampling)
+        changes the per-column features.
+        """
+        return {
+            key: value
+            for key, value in self.parameters().items()
+            if key == "sample_size"
+        }
+
     def prepare(self, table: Table) -> PreparedTable:
         """Precompute every component's per-column features once per table.
 

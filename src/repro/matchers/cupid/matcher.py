@@ -65,6 +65,15 @@ class CupidMatcher(BaseMatcher):
         """A custom thesaurus changes the linguistic similarities."""
         return (self._thesaurus.fingerprint(),)
 
+    def prepare_parameters(self) -> dict[str, object]:
+        """The schema tree depends on the table alone.
+
+        ``w_struct``/``leaf_w_struct``/``th_accept`` only steer TreeMatch in
+        :meth:`match_prepared`, so all Cupid configurations share prepared
+        trees.
+        """
+        return {}
+
     def prepare(self, table: Table) -> PreparedTable:
         """Build the table's Cupid schema tree once."""
         return PreparedTable(

@@ -99,6 +99,18 @@ class DistributionBasedMatcher(BaseMatcher):
     # ------------------------------------------------------------------ #
     # matching
     # ------------------------------------------------------------------ #
+    def prepare_parameters(self) -> dict[str, object]:
+        """Only ``sample_size`` shapes the prepared (truncated) value lists.
+
+        The clustering thresholds and ``num_buckets`` act on the pairwise
+        EMD computation in :meth:`match_prepared`.
+        """
+        return {
+            key: value
+            for key, value in self.parameters().items()
+            if key == "sample_size"
+        }
+
     def prepare(self, table: Table) -> PreparedTable:
         """Normalise (and truncate) every column's value list once.
 

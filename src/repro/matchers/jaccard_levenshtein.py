@@ -14,7 +14,7 @@ from typing import AbstractSet, Sequence
 from repro.data.table import Table
 from repro.matchers.base import BaseMatcher, MatchResult, MatchType, PreparedTable
 from repro.matchers.registry import register_matcher
-from repro.text.distance import normalized_levenshtein
+from repro.text.distance import levenshtein_distance
 
 __all__ = ["JaccardLevenshteinMatcher"]
 
@@ -66,7 +66,19 @@ def _fuzzy_jaccard_sets(
         for value_b in rest_b:
             if value_b in matched_b:
                 continue
-            if normalized_levenshtein(value_a, value_b) >= threshold:
+            # sim >= threshold iff distance <= (1 - threshold) * max_len, so
+            # the DP can stop at a cutoff (one unit of float slack keeps the
+            # accept decision identical to the uncut similarity comparison).
+            longest = max(len(value_a), len(value_b))
+            if longest == 0:
+                similarity = 1.0
+            else:
+                cutoff = int((1.0 - threshold) * longest) + 1
+                distance = levenshtein_distance(value_a, value_b, max_distance=cutoff)
+                if distance > cutoff:
+                    continue
+                similarity = 1.0 - distance / longest
+            if similarity >= threshold:
                 fuzzy_matches += 1
                 matched_b.add(value_b)
                 break
@@ -105,6 +117,15 @@ class JaccardLevenshteinMatcher(BaseMatcher):
             raise ValueError("sample_size must be non-negative")
         self.threshold = threshold
         self.sample_size = sample_size
+
+    def prepare_parameters(self) -> dict[str, object]:
+        """Prepare only normalises value sets — no parameter shapes it.
+
+        ``threshold`` and ``sample_size`` are applied pairwise in
+        :meth:`match_prepared`, so every configuration shares one prepared
+        payload per table.
+        """
+        return {}
 
     def prepare(self, table: Table) -> PreparedTable:
         """Normalise every column's value set once."""

@@ -21,7 +21,7 @@ from repro.matchers.registry import register_matcher
 from repro.matchers.semprop.semantic import coherence_score, link_to_ontology
 from repro.ontology.domain import business_ontology
 from repro.ontology.model import Ontology
-from repro.sketches.minhash import minhash_signature
+from repro.sketches.minhash import jaccard_matrix, minhash_signature
 
 __all__ = ["SemPropMatcher"]
 
@@ -84,6 +84,20 @@ class SemPropMatcher(BaseMatcher):
         """The ontology and embedding model shape every prepared link."""
         return (self._ontology.fingerprint(), self._embeddings.fingerprint())
 
+    def prepare_parameters(self) -> dict[str, object]:
+        """Prepared links/sketches ignore the match-stage thresholds.
+
+        ``minhash_threshold`` and ``coherent_threshold`` are applied per
+        pair in :meth:`match_prepared`; ``semantic_threshold``,
+        ``num_permutations`` and ``sample_size`` are baked into the payload
+        and stay in the fingerprint.
+        """
+        return {
+            key: value
+            for key, value in self.parameters().items()
+            if key not in ("minhash_threshold", "coherent_threshold")
+        }
+
     def prepare(self, table: Table) -> PreparedTable:
         """Link column names to the ontology and sketch value sets once.
 
@@ -123,9 +137,19 @@ class SemPropMatcher(BaseMatcher):
         source_signatures = source.payload["signatures"]
         target_signatures = target.payload["signatures"]
 
+        # All-pairs syntactic evidence in one broadcast comparison; each cell
+        # equals the corresponding signature.jaccard() exactly, so rankings
+        # are unchanged versus the per-pair loop.
+        source_columns = source.table.columns
+        target_columns = target.table.columns
+        estimated_matrix = jaccard_matrix(
+            [source_signatures[column.name] for column in source_columns],
+            [target_signatures[column.name] for column in target_columns],
+        )
+
         scores = {}
-        for source_column in source.table.columns:
-            for target_column in target.table.columns:
+        for i, source_column in enumerate(source_columns):
+            for j, target_column in enumerate(target_columns):
                 semantic = coherence_score(
                     source_links[source_column.name],
                     target_links[target_column.name],
@@ -135,9 +159,7 @@ class SemPropMatcher(BaseMatcher):
                     # Semantic matches rank above purely syntactic ones.
                     score = 0.5 + 0.5 * semantic
                 else:
-                    estimated = source_signatures[source_column.name].jaccard(
-                        target_signatures[target_column.name]
-                    )
+                    estimated = float(estimated_matrix[i, j])
                     score = 0.5 * estimated if estimated >= self.minhash_threshold else 0.25 * estimated
                 scores[(source_column.ref, target_column.ref)] = score
         return MatchResult.from_scores(scores, keep_zero=True)

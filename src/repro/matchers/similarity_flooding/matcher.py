@@ -77,6 +77,14 @@ class SimilarityFloodingMatcher(BaseMatcher):
             residual_threshold=residual_threshold,
         )
 
+    def prepare_parameters(self) -> dict[str, object]:
+        """The schema graph depends on the table alone.
+
+        Every constructor parameter steers the flooding fixpoint in
+        :meth:`match_prepared`, so all configurations share prepared graphs.
+        """
+        return {}
+
     def prepare(self, table: Table) -> PreparedTable:
         """Build the table's directed labelled schema graph once."""
         return PreparedTable(

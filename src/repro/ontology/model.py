@@ -49,6 +49,10 @@ class Ontology:
         """Register a class (replacing any class with the same name)."""
         self._classes[ontology_class.name] = ontology_class
         self._fingerprint_cache: Optional[str] = None
+        # Traversal memos are derived from the hierarchy: drop them on any
+        # mutation, exactly like the fingerprint.
+        self._ancestors_cache: dict[str, frozenset[str]] = {}
+        self._related_cache: dict[tuple[str, str], bool] = {}
 
     def fingerprint(self) -> str:
         """Short content-based digest of the ontology (name, classes, edges).
@@ -97,6 +101,16 @@ class Ontology:
 
     def ancestors_of(self, class_name: str) -> set[str]:
         """All (transitive) superclasses of *class_name*."""
+        return set(self._ancestors(class_name))
+
+    def _ancestors(self, class_name: str) -> frozenset[str]:
+        """Memoized ancestor set (coherence scoring calls this per link pair)."""
+        cache = getattr(self, "_ancestors_cache", None)
+        if cache is None:
+            cache = self._ancestors_cache = {}
+        cached = cache.get(class_name)
+        if cached is not None:
+            return cached
         ancestors: set[str] = set()
         frontier = list(self.parents_of(class_name))
         while frontier:
@@ -105,7 +119,9 @@ class Ontology:
                 continue
             ancestors.add(parent)
             frontier.extend(self.parents_of(parent))
-        return ancestors
+        result = frozenset(ancestors)
+        cache[class_name] = result
+        return result
 
     def descendants_of(self, class_name: str) -> set[str]:
         """All (transitive) subclasses of *class_name*."""
@@ -127,11 +143,21 @@ class Ontology:
         """True when the two classes are equal or connected through IS-A."""
         if class_a == class_b:
             return True
-        return (
-            class_b in self.ancestors_of(class_a)
-            or class_a in self.ancestors_of(class_b)
-            or bool(self.ancestors_of(class_a) & self.ancestors_of(class_b))
-        )
+        cache = getattr(self, "_related_cache", None)
+        if cache is None:
+            cache = self._related_cache = {}
+        key = (class_a, class_b) if class_a <= class_b else (class_b, class_a)
+        cached = cache.get(key)
+        if cached is None:
+            ancestors_a = self._ancestors(class_a)
+            ancestors_b = self._ancestors(class_b)
+            cached = (
+                class_b in ancestors_a
+                or class_a in ancestors_b
+                or not ancestors_a.isdisjoint(ancestors_b)
+            )
+            cache[key] = cached
+        return cached
 
     def semantic_distance(self, class_a: str, class_b: str) -> int:
         """Shortest IS-A path length between the classes (-1 when unrelated)."""

@@ -26,11 +26,25 @@ __all__ = [
 ]
 
 
-def levenshtein_distance(a: str, b: str) -> int:
+def levenshtein_distance(a: str, b: str, max_distance: int | None = None) -> int:
     """Edit distance between *a* and *b* (insert/delete/substitute, unit cost).
 
     Implemented with the classic two-row dynamic program, O(|a|*|b|) time and
     O(min(|a|,|b|)) space.
+
+    Parameters
+    ----------
+    max_distance:
+        Optional cutoff for threshold-style callers ("are these within k
+        edits?").  When set, any return value ``> max_distance`` only means
+        *exceeded* (usually the sentinel ``max_distance + 1``, or the exact
+        distance when a trivial case short-circuits first); distances at or
+        below the cutoff are exact and identical to the unbounded
+        computation.  The work saved: the standard length-difference early
+        exit (``|len(a) - len(b)|`` is a lower bound) fires before any DP
+        work, the two-row DP only fills a diagonal band of half-width
+        ``max_distance`` (cells outside it cannot stay within the cutoff),
+        and a row whose band minimum exceeds the cutoff aborts the scan.
     """
     if a == b:
         return 0
@@ -40,6 +54,14 @@ def levenshtein_distance(a: str, b: str) -> int:
         return len(a)
     if len(a) < len(b):
         a, b = b, a
+    if max_distance is not None:
+        if max_distance < 0:
+            raise ValueError("max_distance must be non-negative")
+        # Length-difference lower bound: no alignment can do better than
+        # inserting the extra characters.
+        if len(a) - len(b) > max_distance:
+            return max_distance + 1
+        return _banded_levenshtein(a, b, max_distance)
     previous = list(range(len(b) + 1))
     for i, char_a in enumerate(a, start=1):
         current = [i]
@@ -48,6 +70,37 @@ def levenshtein_distance(a: str, b: str) -> int:
             current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
         previous = current
     return previous[-1]
+
+
+def _banded_levenshtein(a: str, b: str, max_distance: int) -> int:
+    """Two-row DP restricted to the ``|i - j| <= max_distance`` diagonal band.
+
+    Cells outside the band have distance > *max_distance* by construction,
+    so they are treated as "over the cutoff" without being computed; if a
+    whole row's band exceeds the cutoff no later row can recover and the
+    scan aborts.  Requires ``len(a) >= len(b)``.
+    """
+    over = max_distance + 1
+    len_b = len(b)
+    previous = [min(j, over) for j in range(len_b + 1)]
+    for i, char_a in enumerate(a, start=1):
+        lower = max(1, i - max_distance)
+        upper = min(len_b, i + max_distance)
+        current = [i if i <= max_distance else over] + [over] * len_b
+        best = current[0]
+        for j in range(lower, upper + 1):
+            char_b = b[j - 1]
+            cost = 0 if char_a == char_b else 1
+            value = min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            if value > over:
+                value = over
+            current[j] = value
+            if value < best:
+                best = value
+        if best >= over:
+            return over
+        previous = current
+    return min(previous[-1], over)
 
 
 def levenshtein_similarity(a: str, b: str) -> float:

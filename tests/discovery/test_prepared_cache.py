@@ -51,11 +51,26 @@ class TestPreparedTableCache:
         assert first.table.name == "orders"
         assert second.table.name == "orders_copy"
 
-    def test_matcher_config_keys_separately(self):
+    def test_match_stage_config_shares_prepared(self):
+        """Parameters applied only in match_prepared (JL's threshold) are
+        excluded from the fingerprint, so a parameter sweep over them reuses
+        one prepared payload per table."""
         cache = PreparedTableCache()
         table = _table("t", ["a", "b"])
         cache.prepare(JaccardLevenshteinMatcher(threshold=0.8), table)
         cache.prepare(JaccardLevenshteinMatcher(threshold=0.5), table)
+        assert cache.misses == 1 and cache.hits == 1
+        assert len(cache) == 1
+
+    def test_prepare_stage_config_keys_separately(self):
+        """Parameters the prepare stage consumes (DB's sample_size truncates
+        the prepared value lists) must produce distinct cache entries."""
+        from repro.matchers.distribution_based import DistributionBasedMatcher
+
+        cache = PreparedTableCache()
+        table = _table("t", ["a", "b", "c"])
+        cache.prepare(DistributionBasedMatcher(sample_size=2), table)
+        cache.prepare(DistributionBasedMatcher(sample_size=3), table)
         assert cache.misses == 2 and cache.hits == 0
         assert len(cache) == 2
 

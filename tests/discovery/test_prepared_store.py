@@ -1,0 +1,260 @@
+"""Tests of the persistent prepared-table store (SQLite, versioned pickles)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.data.fingerprint import table_content_hash
+from repro.data.table import Column, Table
+from repro.discovery.prepared import (
+    PREPARED_PAYLOAD_FORMAT,
+    PreparedStore,
+    PreparedTableCache,
+)
+from repro.matchers.base import PreparedTable
+from repro.matchers.jaccard_levenshtein import JaccardLevenshteinMatcher
+from repro.matchers.registry import create_matcher
+
+
+def _table(name: str, values: list[object]) -> Table:
+    return Table(name, [Column("value", values)])
+
+
+@pytest.fixture
+def query_table() -> Table:
+    return Table(
+        "query",
+        [
+            Column("city", ["lisbon", "oslo", "quito", "kyoto", "perth", "accra"]),
+            Column("population", [544851, 709037, 2011388, 1463723, 2059484, 2388000]),
+        ],
+    )
+
+
+@pytest.fixture
+def candidate_table() -> Table:
+    return Table(
+        "candidate",
+        [
+            Column("town", ["oslo", "quito", "lisbon", "cairo", "lima", "hanoi"]),
+            Column("people", [709037, 2011388, 544851, 10025657, 10092000, 8053663]),
+        ],
+    )
+
+
+#: One lightweight configuration per registered matcher, so the round-trip
+#: test exercises every payload shape without minutes of embedding training.
+_LIGHT_CONFIGS: dict[str, dict[str, object]] = {
+    "embdi": {
+        "dimensions": 16,
+        "sentence_length": 8,
+        "walks_per_node": 2,
+        "epochs": 1,
+        "max_rows": 6,
+    },
+    "semprop": {"num_permutations": 32, "sample_size": 50},
+    "comainstance": {"sample_size": 50},
+    "distributionbased": {"sample_size": 50},
+    "jaccardlevenshtein": {"sample_size": 20},
+}
+
+
+class TestRoundTripEquality:
+    def test_store_loaded_prepared_matches_fresh_for_every_matcher(
+        self, query_table, candidate_table
+    ):
+        """A store-loaded PreparedTable must produce identical matches to a
+        fresh prepare — for every registered matcher (tentpole invariant)."""
+        from repro.matchers.registry import available_matchers
+
+        for name in sorted(available_matchers()):
+            matcher = create_matcher(name, **_LIGHT_CONFIGS.get(name, {}))
+            with PreparedStore() as store:
+                fresh = matcher.prepare(candidate_table)
+                store.put(fresh)
+                loaded = store.get(
+                    matcher.fingerprint(),
+                    candidate_table.name,
+                    table_content_hash(candidate_table),
+                )
+                assert loaded is not None, f"{name}: stored payload not found"
+                assert loaded.fingerprint == fresh.fingerprint
+
+                query_prepared = matcher.prepare(query_table)
+                via_fresh = matcher.match_prepared(query_prepared, fresh)
+                via_loaded = matcher.match_prepared(query_prepared, loaded)
+                assert via_loaded.to_records() == via_fresh.to_records(), (
+                    f"{name}: matches diverged after a store round trip"
+                )
+
+
+class TestInvalidation:
+    def test_content_hash_invalidation(self):
+        matcher = JaccardLevenshteinMatcher()
+        with PreparedStore() as store:
+            store.prepare(matcher, _table("t", ["a", "b"]))
+            # Same name, new cells: the old payload must not be served.
+            prepared = store.prepare(matcher, _table("t", ["a", "b", "c"]))
+            assert store.misses == 2 and store.hits == 0
+            assert set(prepared.payload["value_sets"]["value"]) == {"a", "b", "c"}
+
+    def test_matcher_fingerprint_invalidation(self):
+        """A prepare-relevant config change must miss; a match-stage-only
+        change shares the entry (prepare_parameters semantics)."""
+        from repro.matchers.distribution_based import DistributionBasedMatcher
+
+        table = _table("t", ["a", "b", "c"])
+        with PreparedStore() as store:
+            store.prepare(DistributionBasedMatcher(sample_size=2), table)
+            store.prepare(DistributionBasedMatcher(sample_size=3), table)
+            assert store.misses == 2 and store.hits == 0
+            store.prepare(DistributionBasedMatcher(sample_size=2, phase1_threshold=0.5), table)
+            assert store.hits == 1
+
+    def test_foreign_payload_format_is_a_miss_and_is_replaced(self):
+        matcher = JaccardLevenshteinMatcher()
+        table = _table("t", ["a"])
+        with PreparedStore() as store:
+            prepared = store.prepare(matcher, table)
+            store._connection.execute(
+                "UPDATE prepared SET payload_format = ?", (PREPARED_PAYLOAD_FORMAT + 1,)
+            )
+            store._connection.commit()
+            assert (
+                store.get(
+                    matcher.fingerprint(), table.name, table_content_hash(table)
+                )
+                is None
+            )
+            assert len(store) == 0  # the stale row was dropped
+            again = store.prepare(matcher, table)
+            assert again.payload == prepared.payload
+
+    def test_corrupt_pickle_is_a_miss(self):
+        matcher = JaccardLevenshteinMatcher()
+        table = _table("t", ["a"])
+        with PreparedStore() as store:
+            store.prepare(matcher, table)
+            store._connection.execute(
+                "UPDATE prepared SET payload = ?", (b"not a pickle",)
+            )
+            store._connection.commit()
+            assert (
+                store.get(matcher.fingerprint(), table.name, table_content_hash(table))
+                is None
+            )
+
+    def test_mismatched_decoded_fingerprint_is_a_miss(self):
+        """A payload pickled under one fingerprint must never be served for
+        another, even if the row key claims otherwise."""
+        matcher = JaccardLevenshteinMatcher()
+        table = _table("t", ["a"])
+        with PreparedStore() as store:
+            foreign = PreparedTable(table=table, fingerprint="somebody-else")
+            blob = pickle.dumps(foreign, protocol=4)
+            store._connection.execute(
+                "INSERT INTO prepared (matcher_fingerprint, table_name, content_hash, "
+                "payload_format, payload, last_used) VALUES (?, ?, ?, ?, ?, 1)",
+                (
+                    matcher.fingerprint(),
+                    table.name,
+                    table_content_hash(table),
+                    PREPARED_PAYLOAD_FORMAT,
+                    blob,
+                ),
+            )
+            store._connection.commit()
+            assert (
+                store.get(matcher.fingerprint(), table.name, table_content_hash(table))
+                is None
+            )
+
+
+class TestPersistenceAndBounds:
+    def test_round_trip_across_reopen(self, tmp_path):
+        path = tmp_path / "lake.sketches.prepared"
+        matcher = JaccardLevenshteinMatcher()
+        table = _table("t", ["a", "b"])
+        with PreparedStore(path) as store:
+            first = store.prepare(matcher, table)
+        with PreparedStore(path) as reopened:
+            second = reopened.prepare(matcher, table)
+            assert reopened.hits == 1 and reopened.misses == 0
+            assert second.payload == first.payload
+            assert second.table.column_names == first.table.column_names
+
+    def test_lru_eviction_respects_recency(self):
+        matcher = JaccardLevenshteinMatcher()
+        tables = [_table(f"t{i}", [i]) for i in range(3)]
+        with PreparedStore(max_entries=2) as store:
+            store.prepare(matcher, tables[0])
+            store.prepare(matcher, tables[1])
+            store.prepare(matcher, tables[0])  # refresh t0: t1 becomes LRU
+            store.prepare(matcher, tables[2])  # evicts t1
+            assert len(store) == 2
+            store.prepare(matcher, tables[0])
+            assert store.hits == 2  # t0 survived
+            store.prepare(matcher, tables[1])  # t1 was evicted -> miss
+            assert store.misses == 4
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            PreparedStore(max_entries=0)
+
+    def test_refuses_foreign_sqlite_file(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "other.db"
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE something_else (x INTEGER)")
+        connection.commit()
+        connection.close()
+        with pytest.raises(ValueError, match="not a prepared store"):
+            PreparedStore(path)
+
+    def test_refuses_future_schema_version(self, tmp_path):
+        path = tmp_path / "p.prepared"
+        with PreparedStore(path) as store:
+            store._write_meta("schema_version", "999")
+            store._connection.commit()
+        with pytest.raises(ValueError, match="schema version 999"):
+            PreparedStore(path)
+
+    def test_clear_resets(self):
+        matcher = JaccardLevenshteinMatcher()
+        with PreparedStore() as store:
+            store.prepare(matcher, _table("t", ["a"]))
+            store.clear()
+            assert len(store) == 0
+            assert (store.hits, store.misses) == (0, 0)
+
+    def test_table_names_listing(self):
+        matcher = JaccardLevenshteinMatcher()
+        with PreparedStore() as store:
+            store.prepare(matcher, _table("beta", ["b"]))
+            store.prepare(matcher, _table("alpha", ["a"]))
+            assert store.table_names() == ["alpha", "beta"]
+            assert store.table_names(matcher.fingerprint()) == ["alpha", "beta"]
+            assert store.table_names("nobody") == []
+
+
+class TestCacheChaining:
+    def test_memory_cache_fronts_the_store(self):
+        """PreparedTableCache(backing=store): a cache miss falls through to
+        disk, a disk hit is promoted to memory, and a fresh cache over the
+        same store never re-prepares."""
+        matcher = JaccardLevenshteinMatcher()
+        table = _table("t", ["a", "b"])
+        with PreparedStore() as store:
+            cache = PreparedTableCache(backing=store)
+            cache.prepare(matcher, table)  # computes, persists
+            assert (cache.misses, store.misses) == (1, 1)
+            cache.prepare(matcher, table)  # memory hit, disk untouched
+            assert cache.hits == 1 and store.hits == 0
+
+            fresh = PreparedTableCache(backing=store)
+            fresh.prepare(matcher, table)  # memory miss -> disk hit
+            assert fresh.misses == 1 and store.hits == 1
+            assert store.misses == 1  # never recomputed

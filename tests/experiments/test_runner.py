@@ -76,3 +76,42 @@ class TestExperimentRunner:
         runner.run_all([unionable_pair], methods=["ComaSchema"])
         assert len(messages) == 1
         assert "recall@GT" in messages[0]
+
+
+class TestCacheAwareRunner:
+    def test_grid_sweep_reuses_prepared_tables(self, small_grids, unionable_pair):
+        """JL's threshold is match-stage-only, so the second grid
+        configuration's prepares are all served from the shared cache."""
+        from repro.discovery.prepared import PreparedTableCache
+
+        cache = PreparedTableCache()
+        runner = ExperimentRunner(grids=small_grids, prepared_cache=cache)
+        results = runner.run_method("JaccardLevenshtein", [unionable_pair])
+        # 2 configurations x 1 pair x 2 tables: config 1 misses, config 2 hits.
+        assert cache.misses == 2
+        assert cache.hits == 2
+        hit_rates = [
+            record.extra_metrics["prepare_cache_hit_rate"] for record in results
+        ]
+        assert sorted(hit_rates) == [0.0, 1.0]
+        assert all(
+            "prepare_cache_hits" in record.extra_metrics for record in results
+        )
+
+    def test_cached_rankings_match_uncached(self, small_grids, unionable_pair):
+        from repro.discovery.prepared import PreparedTableCache
+
+        plain = ExperimentRunner(grids=small_grids)
+        cached = ExperimentRunner(grids=small_grids, prepared_cache=PreparedTableCache())
+        baseline = plain.run_all([unionable_pair])
+        reused = cached.run_all([unionable_pair])
+        assert [r.recall_at_ground_truth for r in baseline] == [
+            r.recall_at_ground_truth for r in reused
+        ]
+
+    def test_no_cache_means_no_cache_metrics(self, small_grids, unionable_pair):
+        runner = ExperimentRunner(grids=small_grids)
+        results = runner.run_all([unionable_pair], methods=["JaccardLevenshtein"])
+        assert all(
+            "prepare_cache_hit_rate" not in record.extra_metrics for record in results
+        )

@@ -151,9 +151,17 @@ class TestEnsembleSharing:
         assert all(isinstance(member, PreparedTable) for member in members)
 
     def test_ensemble_fingerprint_tracks_member_configs(self):
-        a = EnsembleMatcher([JaccardLevenshteinMatcher(threshold=0.8)])
-        b = EnsembleMatcher([JaccardLevenshteinMatcher(threshold=0.5)])
+        """Members differing in prepare-relevant config must not share
+        prepared tables; members differing only in match-stage config
+        (JL's threshold) deliberately do."""
+        from repro.matchers.distribution_based import DistributionBasedMatcher
+
+        a = EnsembleMatcher([DistributionBasedMatcher(sample_size=100)])
+        b = EnsembleMatcher([DistributionBasedMatcher(sample_size=50)])
         assert a.fingerprint() != b.fingerprint()
+        c = EnsembleMatcher([JaccardLevenshteinMatcher(threshold=0.8)])
+        d = EnsembleMatcher([JaccardLevenshteinMatcher(threshold=0.5)])
+        assert c.fingerprint() == d.fingerprint()
 
 
 class TestLegacyBridge:
@@ -182,10 +190,23 @@ class TestLegacyBridge:
         with pytest.raises(TypeError):
             empty.match_prepared(empty.prepare(query), empty.prepare(target))
 
-    def test_fingerprint_changes_with_parameters(self):
+    def test_fingerprint_changes_with_prepare_parameters(self):
+        """The fingerprint is the *prepare* identity: parameters the prepare
+        stage consumes key separately, match-stage-only parameters share."""
+        from repro.matchers.distribution_based import DistributionBasedMatcher
+
+        assert (
+            DistributionBasedMatcher(sample_size=100).fingerprint()
+            != DistributionBasedMatcher(sample_size=50).fingerprint()
+        )
+        assert (
+            SemPropMatcher(num_permutations=32).fingerprint()
+            != SemPropMatcher(num_permutations=64).fingerprint()
+        )
+        # JL's threshold only steers the pairwise fuzzy pass.
         assert (
             JaccardLevenshteinMatcher(threshold=0.8).fingerprint()
-            != JaccardLevenshteinMatcher(threshold=0.7).fingerprint()
+            == JaccardLevenshteinMatcher(threshold=0.7).fingerprint()
         )
         assert (
             JaccardLevenshteinMatcher().fingerprint()

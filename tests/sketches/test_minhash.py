@@ -120,3 +120,99 @@ class TestBatchSignatures:
 
     def test_empty_batch(self):
         assert minhash_signatures([]) == []
+
+
+class TestVectorizedVsScalar:
+    """The NumPy batch path must be bit-identical to the pure-Python oracle."""
+
+    CASES = [
+        [],
+        ["a", "b", "c"],
+        ["A ", " b", "c", "c"],  # normalisation collapses duplicates
+        [1, 2, 3, None, "x" * 80],
+        [f"val{i}" for i in range(500)],
+        ["ünïcode", "日本語", ""],
+    ]
+
+    def test_signatures_identical(self):
+        from repro.sketches.minhash import minhash_signatures_scalar
+
+        for num_permutations, seed in ((16, 7), (128, 7), (64, 99)):
+            vectorized = minhash_signatures(
+                self.CASES, num_permutations=num_permutations, seed=seed
+            )
+            scalar = minhash_signatures_scalar(
+                self.CASES, num_permutations=num_permutations, seed=seed
+            )
+            assert vectorized == scalar
+
+    def test_signatures_identical_across_chunk_boundaries(self, monkeypatch):
+        import repro.sketches.minhash as module
+        from repro.sketches.minhash import minhash_signatures_scalar
+
+        monkeypatch.setattr(module, "_BATCH_CELL_BUDGET", 48)
+        columns = [[f"c{i}_{j}" for j in range(11)] for i in range(7)]
+        assert minhash_signatures(columns, num_permutations=16) == (
+            minhash_signatures_scalar(columns, num_permutations=16)
+        )
+
+    def test_hash_normalized_values_matches_stable_hash(self):
+        import numpy as np
+
+        import repro.sketches.minhash as module
+        from repro.sketches.minhash import hash_normalized_values
+
+        values = ["alpha", "beta", "", "日本語", "x" * 200]
+        array = hash_normalized_values(values)
+        assert array.dtype == np.uint64
+        assert array.tolist() == [module._stable_hash(v) for v in values]
+        assert hash_normalized_values([]).size == 0
+
+    def test_scalar_rejects_invalid_permutations(self):
+        from repro.sketches.minhash import minhash_signatures_scalar
+
+        with pytest.raises(ValueError):
+            minhash_signatures_scalar([["x"]], num_permutations=0)
+
+
+class TestJaccardMatrix:
+    def test_matrix_equals_pairwise_jaccard(self):
+        from repro.sketches.minhash import jaccard_matrix
+
+        columns_a = [[f"v_{i}" for i in range(40)], ["x", "y"], []]
+        columns_b = [[f"v_{i}" for i in range(20, 60)], ["y", "z"], ["q"]]
+        signatures_a = minhash_signatures(columns_a, num_permutations=64)
+        signatures_b = minhash_signatures(columns_b, num_permutations=64)
+        matrix = jaccard_matrix(signatures_a, signatures_b)
+        assert matrix.shape == (3, 3)
+        for i, signature_a in enumerate(signatures_a):
+            for j, signature_b in enumerate(signatures_b):
+                assert matrix[i, j] == signature_a.jaccard(signature_b)
+
+    def test_empty_sides(self):
+        from repro.sketches.minhash import jaccard_matrix
+
+        signatures = minhash_signatures([["a"]], num_permutations=16)
+        assert jaccard_matrix([], signatures).shape == (0, 1)
+        assert jaccard_matrix(signatures, []).shape == (1, 0)
+
+    def test_mismatched_permutations_rejected(self):
+        from repro.sketches.minhash import jaccard_matrix
+
+        a = minhash_signature(["x"], num_permutations=16)
+        b = minhash_signature(["x"], num_permutations=32)
+        with pytest.raises(ValueError):
+            jaccard_matrix([a], [b])
+
+
+class TestSignaturePickling:
+    def test_pickle_round_trip_drops_vector_cache(self):
+        import pickle
+
+        signature = minhash_signature(["a", "b"], num_permutations=16)
+        signature.jaccard(signature)  # materialise the cached vector
+        assert "_vector_cache" in signature.__dict__
+        clone = pickle.loads(pickle.dumps(signature))
+        assert clone == signature
+        assert "_vector_cache" not in clone.__dict__
+        assert clone.jaccard(signature) == 1.0

@@ -94,6 +94,89 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "join=" in output and ("cities" in output or "towns" in output)
 
+    def test_lake_build_workers_and_prepared_query(self, tmp_path, capsys):
+        lake_dir = tmp_path / "lake"
+        lake_dir.mkdir()
+        write_csv(
+            Table("cities", {"city": ["delft", "leiden", "gouda"], "pop": [1, 2, 3]}),
+            lake_dir / "cities.csv",
+        )
+        write_csv(
+            Table("towns", {"town": ["delft", "gouda", "utrecht"], "size": [3, 4, 5]}),
+            lake_dir / "towns.csv",
+        )
+        store = tmp_path / "lake.sketches"
+        assert (
+            main(["lake", "build", str(lake_dir), "--store", str(store), "--workers", "2"])
+            == 0
+        )
+        assert "2 tables sketched" in capsys.readouterr().out
+
+        # Pre-warm the prepared store, then query it twice: the second query
+        # must serve every candidate from the store.
+        assert (
+            main(
+                [
+                    "lake",
+                    "prepare",
+                    "JaccardLevenshtein",
+                    "--store",
+                    str(store),
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 tables prepared" in out
+        assert (store.parent / (store.name + ".prepared")).exists()
+
+        query_path = write_csv(
+            Table("query", {"place": ["delft", "gouda"], "n": [7, 8]}),
+            tmp_path / "query.csv",
+        )
+        assert (
+            main(
+                [
+                    "lake",
+                    "query",
+                    str(query_path),
+                    "--store",
+                    str(store),
+                    "--method",
+                    "JaccardLevenshtein",
+                    "--top",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "2 served from the prepared store" in capsys.readouterr().out
+
+        # The cold path is still available and prints no warm statistics.
+        assert (
+            main(
+                [
+                    "lake",
+                    "query",
+                    str(query_path),
+                    "--store",
+                    str(store),
+                    "--method",
+                    "JaccardLevenshtein",
+                    "--no-prepared-store",
+                ]
+            )
+            == 0
+        )
+        assert "served from the prepared store" not in capsys.readouterr().out
+
+    def test_lake_prepare_requires_store(self, tmp_path, capsys):
+        missing = tmp_path / "nope.sketches"
+        assert main(["lake", "prepare", "JaccardLevenshtein", "--store", str(missing)]) == 1
+        assert "run `lake build` first" in capsys.readouterr().err
+
     def test_lake_build_prune_drops_deleted_csvs(self, tmp_path, capsys):
         lake_dir = tmp_path / "lake"
         lake_dir.mkdir()

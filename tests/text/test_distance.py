@@ -38,6 +38,60 @@ class TestLevenshtein:
     def test_symmetry(self):
         assert levenshtein_distance("street", "str") == levenshtein_distance("str", "street")
 
+
+class TestLevenshteinCutoff:
+    """The banded max_distance path must be exact at or below the cutoff and
+    report ``max_distance + 1`` beyond it."""
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("kitten", "sitting"),
+            ("flaw", "lawn"),
+            ("book", "back"),
+            ("", "abc"),
+            ("abcdef", "abcdef"),
+            ("abcdefghij", "jihgfedcba"),
+        ],
+    )
+    def test_exact_within_cutoff(self, a, b):
+        exact = levenshtein_distance(a, b)
+        for cutoff in range(exact, exact + 4):
+            assert levenshtein_distance(a, b, max_distance=cutoff) == exact
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [("kitten", "sitting"), ("abcdefghij", "jihgfedcba"), ("book", "xyzzy")],
+    )
+    def test_over_cutoff_reports_cutoff_plus_one(self, a, b):
+        exact = levenshtein_distance(a, b)
+        for cutoff in range(0, exact):
+            assert levenshtein_distance(a, b, max_distance=cutoff) == cutoff + 1
+
+    def test_length_difference_early_exit(self):
+        # |len(a) - len(b)| = 7 > 3: no DP row is ever filled.
+        assert levenshtein_distance("abcdefghij", "abc", max_distance=3) == 4
+
+    def test_randomised_equivalence(self):
+        import random
+
+        rng = random.Random(12)
+        alphabet = "abcde"
+        for _ in range(300):
+            a = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 12)))
+            b = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 12)))
+            exact = levenshtein_distance(a, b)
+            cutoff = rng.randint(0, 13)
+            banded = levenshtein_distance(a, b, max_distance=cutoff)
+            if exact <= cutoff:
+                assert banded == exact, (a, b, cutoff)
+            else:
+                assert banded > cutoff, (a, b, cutoff)
+
+    def test_negative_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            levenshtein_distance("a", "b", max_distance=-1)
+
     def test_normalized_range(self):
         assert normalized_levenshtein("abc", "abc") == 1.0
         assert normalized_levenshtein("abc", "xyz") == 0.0
