@@ -1,0 +1,188 @@
+"""Parallel warm-path benchmark: WAL worker-side loading + persistent pool.
+
+PR 4 made the *serial* warm lake query fast (no CSV reads, no prepares);
+this benchmark measures the PR 5 claim that adding workers makes the warm
+rerank faster still — previously the parallel path re-shipped or re-prepared
+candidates and was slower than serial warm:
+
+1. **Serial warm vs parallel warm** — a SemProp rerank over a
+   ``NUM_CANDIDATES``-table shortlist, fully pre-warmed (``lake prepare``).
+   Every candidate CSV is **deleted before the timed queries**, so any CSV
+   open on either path would fail loudly: the warm paths provably read zero
+   CSVs and re-prepare nothing (asserted via store-hit counts).  Rankings
+   must be byte-identical across every path.
+2. **Persistent pool reuse** — the first parallel query pays the spawn of
+   the engine's ``RerankPool``; the following ``REPEAT_QUERIES`` queries
+   reuse the warm workers.  Both numbers are reported so the serving-path
+   win (warm pool) is visible separately from the one-off spawn cost.
+
+The ``>= MIN_PARALLEL_SPEEDUP x`` assertion compares the *warm-pool*
+parallel mean against serial warm, and — like the parallel-build assertion
+in ``bench_warm_lake_query.py`` — is skipped on single-CPU runners, where a
+process pool cannot beat serial by construction (the numbers are still
+recorded).  Results are printed AND written to ``BENCH_PR5.json`` at the
+repository root.  Set ``BENCH_PR5_SMOKE=1`` for a seconds-scale smoke run
+(used by CI): scales shrink and only the identity/zero-CSV assertions hold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_report
+from repro.data.csv_io import write_csv
+from repro.datasets import tpcdi_prospect_table
+from repro.discovery.prepared import PreparedStore
+from repro.lake import LakeDiscoveryEngine, SketchStore, build_from_paths, prepare_lake
+from repro.matchers.semprop import SemPropMatcher
+
+SMOKE = os.environ.get("BENCH_PR5_SMOKE", "") not in ("", "0")
+
+NUM_CANDIDATES = 24 if SMOKE else 200
+CANDIDATE_ROWS = 60 if SMOKE else 800
+QUERY_ROWS = 200 if SMOKE else 2000
+REPEAT_QUERIES = 2 if SMOKE else 3
+WORKERS = max(2, min(4, os.cpu_count() or 1))
+MIN_PARALLEL_SPEEDUP = 2.0
+
+_OUTPUT_PATH = Path(__file__).parent.parent / "BENCH_PR5.json"
+
+
+def _rankings(results) -> list[tuple[str, float, float]]:
+    return [(r.table_name, r.joinability, r.unionability) for r in results]
+
+
+def _bench(workdir: Path) -> dict[str, object]:
+    lake_dir = workdir / "lake"
+    lake_dir.mkdir()
+    for i in range(NUM_CANDIDATES):
+        table = tpcdi_prospect_table(num_rows=CANDIDATE_ROWS, seed=100 + i)
+        write_csv(table.rename(f"candidate_{i:03d}"), lake_dir / f"candidate_{i:03d}.csv")
+    csv_paths = sorted(lake_dir.glob("*.csv"))
+
+    matcher = SemPropMatcher()
+    query = tpcdi_prospect_table(num_rows=QUERY_ROWS, seed=1).rename("query_prospects")
+    # Warm shared singletons (thesaurus, embeddings, ontology memos) so no
+    # path pays one-off initialisation inside its timing.
+    matcher.get_matches(
+        tpcdi_prospect_table(num_rows=5, seed=8),
+        tpcdi_prospect_table(num_rows=5, seed=9),
+    )
+
+    store = SketchStore(workdir / "lake.sketches")
+    build_from_paths(store, csv_paths, workers=WORKERS)
+    prepared_store = PreparedStore(workdir / "lake.sketches.prepared")
+    started = time.perf_counter()
+    prepare_lake(store, prepared_store, matcher, workers=WORKERS)
+    prepare_seconds = time.perf_counter() - started
+
+    # The decisive zero-CSV proof: with every candidate CSV gone, any
+    # read_csv on either warm path would raise instead of silently costing.
+    for path in csv_paths:
+        path.unlink()
+
+    engine = LakeDiscoveryEngine(
+        matcher=matcher,
+        store=store,
+        prepared_store=prepared_store,
+        min_candidates=NUM_CANDIDATES,
+        candidate_multiplier=NUM_CANDIDATES,
+    )
+    with engine:
+        started = time.perf_counter()
+        serial_results = engine.query(query, top_k=10)
+        serial_seconds = time.perf_counter() - started
+        assert engine.last_store_hits == engine.last_rerank_count == NUM_CANDIDATES, (
+            "serial warm query did not serve every candidate from the store"
+        )
+
+        # First parallel query: pays RerankPool spawn + worker imports.
+        started = time.perf_counter()
+        first_parallel = engine.query(query, top_k=10, parallel=True, max_workers=WORKERS)
+        first_parallel_seconds = time.perf_counter() - started
+        assert _rankings(first_parallel) == _rankings(serial_results), (
+            "parallel-warm ranking diverged from serial-warm"
+        )
+        assert engine.last_store_hits == engine.last_rerank_count == NUM_CANDIDATES, (
+            "parallel warm query re-prepared candidates instead of loading them"
+        )
+
+        # Warm-pool queries: the serving scenario (pool already spawned).
+        warm_pool_seconds = []
+        for _ in range(REPEAT_QUERIES):
+            started = time.perf_counter()
+            repeat_results = engine.query(
+                query, top_k=10, parallel=True, max_workers=WORKERS
+            )
+            warm_pool_seconds.append(time.perf_counter() - started)
+            assert _rankings(repeat_results) == _rankings(serial_results)
+            assert engine.last_store_hits == NUM_CANDIDATES
+        assert engine.rerank_pool is not None and engine.rerank_pool.spawn_count == 1, (
+            "repeated queries failed to reuse the persistent pool"
+        )
+    store.close()
+    prepared_store.close()
+
+    warm_pool_mean = sum(warm_pool_seconds) / len(warm_pool_seconds)
+    return {
+        "matcher": "SemProp",
+        "candidates_reranked": NUM_CANDIDATES,
+        "query_rows": QUERY_ROWS,
+        "candidate_rows": CANDIDATE_ROWS,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "prepare_lake_seconds": round(prepare_seconds, 3),
+        "serial_warm_seconds": round(serial_seconds, 3),
+        "parallel_first_query_seconds": round(first_parallel_seconds, 3),
+        "parallel_warm_pool_seconds": round(warm_pool_mean, 3),
+        "parallel_warm_pool_speedup": round(serial_seconds / warm_pool_mean, 2),
+        "rankings_identical": True,
+        "candidate_csvs_deleted_before_queries": True,
+        "store_hits_equal_rerank_count": True,
+    }
+
+
+def test_parallel_warm_query_benchmark():
+    workdir = Path(tempfile.mkdtemp(prefix="bench_pr5_"))
+    try:
+        stats = _bench(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    payload = {
+        "benchmark": "bench_parallel_warm_query",
+        "smoke": SMOKE,
+        "parallel_warm_query": stats,
+    }
+    _OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    lines = [
+        f"workload:      {NUM_CANDIDATES} candidates x {CANDIDATE_ROWS} rows, "
+        f"query {QUERY_ROWS} rows, {WORKERS} workers "
+        f"(cpus={stats['cpu_count']}, smoke={SMOKE})",
+        f"serial warm:   {stats['serial_warm_seconds']:7.2f} s   "
+        "(zero CSV reads — candidate CSVs deleted)",
+        f"parallel warm: {stats['parallel_warm_pool_seconds']:7.2f} s   "
+        f"(warm pool, mean of {REPEAT_QUERIES})   "
+        f"speedup: {stats['parallel_warm_pool_speedup']:5.2f}x",
+        f"first query:   {stats['parallel_first_query_seconds']:7.2f} s   "
+        "(includes one-off RerankPool spawn)",
+        "rankings byte-identical on every path; all candidates store-served",
+        f"written to     {_OUTPUT_PATH.name}",
+    ]
+    print_report(
+        "Parallel warm lake query — WAL worker-side loading + RerankPool (PR 5)",
+        "\n".join(lines),
+    )
+
+    multi_cpu = (os.cpu_count() or 1) >= 2
+    if not SMOKE and multi_cpu:
+        assert stats["parallel_warm_pool_speedup"] >= MIN_PARALLEL_SPEEDUP, (
+            f"parallel warm rerank only {stats['parallel_warm_pool_speedup']}x "
+            f"faster than serial warm (< {MIN_PARALLEL_SPEEDUP}x): {stats}"
+        )

@@ -112,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="prepare tables in a process pool of this size",
     )
+    prepare.add_argument(
+        "--max-store-mb",
+        type=float,
+        default=None,
+        help="byte budget for the prepared store in MiB: least-recently-used "
+        "payloads are evicted until the total fits (entry-count cap still "
+        "applies as a secondary bound)",
+    )
 
     query = lake_commands.add_parser("query", help="discover related tables for a CSV")
     query.add_argument("query_csv", type=Path)
@@ -126,7 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="process-pool size; implies --parallel (default: executor's choice)",
+        help="process-pool size; implies --parallel (default: executor's "
+        "choice).  Warm candidates are loaded inside the workers straight "
+        "from the WAL-mode stores — nothing candidate-sized crosses the "
+        "parent process",
     )
     query.add_argument(
         "--prepared-store",
@@ -245,7 +256,11 @@ def _command_lake_build(
 
 
 def _command_lake_prepare(
-    method: str, store_path: Path, prepared_path: Path | None, workers: int | None
+    method: str,
+    store_path: Path,
+    prepared_path: Path | None,
+    workers: int | None,
+    max_store_mb: float | None,
 ) -> int:
     from repro.discovery.prepared import PreparedStore
     from repro.lake import SketchStore, prepare_lake
@@ -254,15 +269,16 @@ def _command_lake_prepare(
         print(f"no sketch store at {store_path}; run `lake build` first", file=sys.stderr)
         return 1
     resolved_prepared = prepared_path or _default_prepared_store_path(store_path)
+    max_bytes = None if max_store_mb is None else max(1, int(max_store_mb * 1024 * 1024))
     try:
         store = SketchStore(store_path)
-        prepared_store = PreparedStore(resolved_prepared)
+        prepared_store = PreparedStore(resolved_prepared, max_bytes=max_bytes)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 1
     with store, prepared_store:
         report = prepare_lake(store, prepared_store, create_matcher(method), workers=workers)
-    suffix = ""
+    suffix = "" if max_bytes is None else f", byte budget {max_store_mb:g} MiB"
     if report.missing:
         suffix += f", {len(report.missing)} missing source CSVs (skipped)"
     if report.stale:
@@ -318,16 +334,19 @@ def _command_lake_query(
             # degrade to the cold path instead of failing the query.
             print(f"prepared store unavailable, querying cold: {exc}", file=sys.stderr)
     with store:
-        engine = LakeDiscoveryEngine(
+        # The engine context releases the persistent rerank pool it lazily
+        # creates for the parallel path (a serving process would keep the
+        # engine — and its warm workers — alive across queries instead).
+        with LakeDiscoveryEngine(
             matcher=create_matcher(method), store=store, prepared_store=prepared_store
-        )
-        results = engine.query(
-            query,
-            mode=mode,
-            top_k=top,
-            parallel=parallel or workers is not None,
-            max_workers=workers,
-        )
+        ) as engine:
+            results = engine.query(
+                query,
+                mode=mode,
+                top_k=top,
+                parallel=parallel or workers is not None,
+                max_workers=workers,
+            )
         warm_note = ""
         if prepared_store is not None:
             warm_note = f", {engine.last_store_hits} served from the prepared store"
@@ -365,7 +384,11 @@ def main(argv: list[str] | None = None) -> int:
             return _command_lake_build(args.input, args.store, args.prune, args.workers)
         if args.lake_command == "prepare":
             return _command_lake_prepare(
-                args.method, args.store, args.prepared_store, args.workers
+                args.method,
+                args.store,
+                args.prepared_store,
+                args.workers,
+                args.max_store_mb,
             )
         return _command_lake_query(
             args.query_csv,

@@ -12,6 +12,8 @@ from repro.discovery.search import (
     DiscoveryEngine,
     DiscoveryResult,
     PairScorer,
+    RerankPool,
+    WorkerCandidateSource,
     prune_then_rerank,
 )
 
@@ -24,6 +26,8 @@ __all__ = [
     "DiscoveryEngine",
     "DiscoveryResult",
     "PairScorer",
+    "RerankPool",
+    "WorkerCandidateSource",
     "PreparedTableCache",
     "PreparedStore",
     "PREPARED_PAYLOAD_FORMAT",

@@ -36,6 +36,16 @@ newer than this code raises, while rows with a *different payload format*
 versioning policy is "re-prepare on any format change", never "best-effort
 decode".  Bump ``PREPARED_PAYLOAD_FORMAT`` whenever the pickled layout of
 ``PreparedTable`` or any matcher payload changes shape.
+
+Concurrency: file-backed stores run in SQLite WAL journal mode, so any
+number of processes can *read* payloads while one writes — the parallel
+rerank opens one connection per worker process
+(:meth:`PreparedStore._ensure_connection` is keyed by PID) and pulls
+shortlist payloads straight from disk with :meth:`PreparedStore.get_many`,
+with zero pickling through the parent.  Occasional concurrent write-through
+from workers serializes on SQLite's write lock (a generous busy timeout is
+set on every connection).  WAL requires a filesystem with working POSIX
+locks and shared memory — keep stores on a local disk, not NFS.
 """
 
 from __future__ import annotations
@@ -45,9 +55,10 @@ import sqlite3
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from repro.data.fingerprint import table_content_hash
+from repro.data.sqlite_store import _MAX_IN_VARS, PerProcessSqliteStore
 from repro.data.table import Table
 from repro.matchers.base import BaseMatcher, PreparedTable
 
@@ -151,7 +162,7 @@ class PreparedTableCache:
         return self.hits / total if total else 0.0
 
 
-class PreparedStore:
+class PreparedStore(PerProcessSqliteStore):
     """A persistent, bounded collection of prepared tables (SQLite-backed).
 
     The on-disk half of prepared-table reuse: payloads survive process
@@ -169,67 +180,71 @@ class PreparedStore:
         LRU size cap.  Prepared payloads embed their table, so the cap
         bounds disk usage; least-recently-*used* rows are evicted when an
         insert overflows it.
+    max_bytes:
+        Optional byte budget on the summed pickled payload sizes
+        (``length(payload)`` per row).  When an insert overflows it,
+        least-recently-used rows are evicted until the total fits again;
+        the row just inserted is never its own victim, so a single payload
+        larger than the budget is kept (and everything else evicted).
+        ``max_entries`` stays as a secondary cap — whichever bound is hit
+        first evicts.
+    read_only:
+        Open an *existing* store for reading only (SQLite ``mode=ro``).
+        Reads work as usual but nothing is ever written — not even LRU
+        recency, which is deliberately dropped on this path.  Safe for any
+        number of concurrent reader processes over a WAL store.
     """
+
+    _STORE_KIND = "prepared store"
+    _REQUIRED_TABLES = frozenset({"meta", "prepared"})
+    _SCHEMA_SCRIPT = _SCHEMA
 
     def __init__(
         self,
         path: Union[str, Path] = ":memory:",
         max_entries: int = 4096,
+        max_bytes: Optional[int] = None,
+        read_only: bool = False,
     ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
-        self.path = str(path)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None for unbounded)")
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         # LRU bookkeeping is deferred: hits record their key here and the
         # batch is flushed in one transaction (on write, threshold or close)
         # so the warm read path never pays a per-get commit.
         self._pending_touches: "OrderedDict[tuple[str, str, str], None]" = OrderedDict()
-        self._connection = None
-        try:
-            self._connection = sqlite3.connect(self.path)
-            existing = {
-                row[0]
-                for row in self._connection.execute(
-                    "SELECT name FROM sqlite_master WHERE type = 'table'"
-                )
-            }
-            if existing and not {"meta", "prepared"} <= existing:
-                self._connection.close()
-                raise ValueError(
-                    f"{self.path!r} is a SQLite database but not a prepared store"
-                )
-            self._connection.executescript(_SCHEMA)
-        except sqlite3.Error as exc:
-            if self._connection is not None:
-                self._connection.close()
-            raise ValueError(
-                f"cannot open {self.path!r} as a prepared store (SQLite) file: {exc}"
-            ) from exc
+        connection = self._init_connections(path, read_only)
         stored = self._read_meta("schema_version")
         if stored is None:
-            with self._connection:
+            if self.read_only:
+                self.close()
+                raise ValueError(
+                    f"cannot open {self.path!r} read-only: not an initialised "
+                    "prepared store"
+                )
+            with connection:
                 self._write_meta("schema_version", str(_SCHEMA_VERSION))
                 self._write_meta("payload_format", str(PREPARED_PAYLOAD_FORMAT))
                 self._write_meta("clock", "0")
         elif int(stored) != _SCHEMA_VERSION:
-            self._connection.close()
+            self.close()
             raise ValueError(
                 f"prepared store at {self.path!r} has schema version {stored}, "
                 f"this code reads version {_SCHEMA_VERSION}"
             )
 
     # ------------------------------------------------------------------ #
-    # lifecycle
+    # lifecycle (connection machinery inherited from PerProcessSqliteStore)
     # ------------------------------------------------------------------ #
-    def close(self) -> None:
-        """Close the underlying connection (the store object becomes unusable)."""
-        try:
-            self._flush_touches()
-        except sqlite3.Error:  # pragma: no cover - defensive on teardown
-            pass
-        self._connection.close()
+    def _close_hook(self, connection: sqlite3.Connection) -> None:
+        """Flush deferred recency before :meth:`close` drops the connection,
+        so LRU order survives process exit."""
+        self._flush_touches(connection)
 
     def __enter__(self) -> "PreparedStore":
         return self
@@ -254,30 +269,86 @@ class PreparedStore:
         )
 
     def _tick(self) -> int:
-        """Advance and return the monotone LRU clock (wall-clock free)."""
-        clock = int(self._read_meta("clock") or 0) + 1
-        self._write_meta("clock", str(clock))
-        return clock
+        """Advance and return the monotone LRU clock (wall-clock free).
+
+        The increment is a single UPDATE, so it runs under SQLite's write
+        lock *before* the value is read back: concurrent worker
+        write-throughs serialize on the lock and can never mint duplicate
+        ticks (a read-modify-write in Python would race across processes).
+        """
+        connection = self._connection
+        connection.execute(
+            "UPDATE meta SET value = CAST(value AS INTEGER) + 1 WHERE key = 'clock'"
+        )
+        return int(self._read_meta("clock") or 0)
 
     #: Deferred LRU touches are flushed once this many keys accumulate.
     _TOUCH_FLUSH_THRESHOLD = 1024
 
-    def _flush_touches(self) -> None:
-        """Write the deferred ``last_used`` updates in one transaction."""
-        if not self._pending_touches:
+    def _flush_touches(self, connection: Optional[sqlite3.Connection] = None) -> None:
+        """Write the deferred ``last_used`` updates in one transaction.
+
+        Runs on every write, on the accumulation threshold and on
+        :meth:`close` — the close-time flush is what makes LRU order survive
+        process exit (a batch of warm hits with no subsequent write would
+        otherwise be forgotten, and the next eviction would victimise the
+        wrong rows).
+        """
+        if not self._pending_touches or self.read_only:
+            self._pending_touches.clear()
             return
-        with self._connection:
+        if connection is None:
+            connection = self._connection
+        with connection:
             for fingerprint, table_name, content_hash in self._pending_touches:
-                self._connection.execute(
+                connection.execute(
                     "UPDATE prepared SET last_used = ? WHERE matcher_fingerprint = ? "
                     "AND table_name = ? AND content_hash = ?",
                     (self._tick(), fingerprint, table_name, content_hash),
                 )
         self._pending_touches.clear()
 
+    def _record_touch(self, key: tuple[str, str, str]) -> None:
+        """Queue one LRU recency update (dropped entirely on read-only stores)."""
+        if self.read_only:
+            return
+        self._pending_touches.pop(key, None)
+        self._pending_touches[key] = None
+        if len(self._pending_touches) >= self._TOUCH_FLUSH_THRESHOLD:
+            self._flush_touches()
+
     # ------------------------------------------------------------------ #
     # core operations
     # ------------------------------------------------------------------ #
+    def _decode(
+        self, payload_format: int, blob: bytes, fingerprint: str, table_name: str
+    ) -> Optional[PreparedTable]:
+        """Decode one stored row, or ``None`` when it must not be trusted."""
+        if payload_format != PREPARED_PAYLOAD_FORMAT:
+            return None
+        try:
+            decoded = pickle.loads(blob)
+        except Exception:
+            decoded = None
+        if (
+            isinstance(decoded, PreparedTable)
+            and decoded.fingerprint == fingerprint
+            and decoded.table.name == table_name
+        ):
+            return decoded
+        return None
+
+    def _discard(self, fingerprint: str, table_name: str, content_hash: str) -> None:
+        """Delete one untrustworthy row (no-op on read-only stores)."""
+        if self.read_only:
+            return
+        with self._connection:
+            self._connection.execute(
+                "DELETE FROM prepared WHERE matcher_fingerprint = ? "
+                "AND table_name = ? AND content_hash = ?",
+                (fingerprint, table_name, content_hash),
+            )
+
     def get(
         self, fingerprint: str, table_name: str, content_hash: str
     ) -> Optional[PreparedTable]:
@@ -296,34 +367,102 @@ class PreparedStore:
         ).fetchone()
         if row is None:
             return None
-        payload_format, blob = row
-        prepared: Optional[PreparedTable] = None
-        if payload_format == PREPARED_PAYLOAD_FORMAT:
-            try:
-                decoded = pickle.loads(blob)
-            except Exception:
-                decoded = None
-            if (
-                isinstance(decoded, PreparedTable)
-                and decoded.fingerprint == fingerprint
-                and decoded.table.name == table_name
-            ):
-                prepared = decoded
+        prepared = self._decode(row[0], row[1], fingerprint, table_name)
         if prepared is None:
-            with self._connection:
-                self._connection.execute(
-                    "DELETE FROM prepared WHERE matcher_fingerprint = ? "
-                    "AND table_name = ? AND content_hash = ?",
-                    (fingerprint, table_name, content_hash),
-                )
+            self._discard(fingerprint, table_name, content_hash)
             return None
-        key = (fingerprint, table_name, content_hash)
-        self._pending_touches.pop(key, None)
-        self._pending_touches[key] = None
-        if len(self._pending_touches) >= self._TOUCH_FLUSH_THRESHOLD:
-            self._flush_touches()
+        self._record_touch((fingerprint, table_name, content_hash))
         self.hits += 1
         return prepared
+
+    def get_raw(
+        self, fingerprint: str, table_name: str, content_hash: str
+    ) -> Optional[bytes]:
+        """The pickled payload blob for a key, skipping the unpickle.
+
+        For callers that ship payloads elsewhere (another process decodes):
+        only the payload format is checked — no unpickling, no fingerprint
+        validation, no deletion of bad rows.  Counts as a hit and records
+        recency like :meth:`get`.
+        """
+        row = self._connection.execute(
+            "SELECT payload_format, payload FROM prepared "
+            "WHERE matcher_fingerprint = ? AND table_name = ? AND content_hash = ?",
+            (fingerprint, table_name, content_hash),
+        ).fetchone()
+        if row is None or row[0] != PREPARED_PAYLOAD_FORMAT:
+            return None
+        self._record_touch((fingerprint, table_name, content_hash))
+        self.hits += 1
+        return row[1]
+
+    def get_many(
+        self, fingerprint: str, keys: Sequence[tuple[str, str]]
+    ) -> dict[str, PreparedTable]:
+        """Batch-load prepared tables: one ``IN (...)`` query per shortlist.
+
+        Parameters
+        ----------
+        fingerprint:
+            The matcher fingerprint all keys share.
+        keys:
+            ``(table name, content hash)`` pairs, e.g. a discovery
+            shortlist against the hashes recorded at lake-build time.
+
+        Returns the found entries as ``{table name: PreparedTable}``;
+        missing names are simply absent (the caller falls back to
+        CSV-prepare for those).  Validation, hit counting and LRU recency
+        match :meth:`get` row for row — only the number of round trips
+        changes (one per ~500 names instead of one per name).
+        """
+        wanted = dict(keys)
+        names = list(wanted)
+        found: dict[str, PreparedTable] = {}
+        for start in range(0, len(names), _MAX_IN_VARS):
+            chunk = names[start : start + _MAX_IN_VARS]
+            placeholders = ", ".join("?" * len(chunk))
+            rows = self._connection.execute(
+                "SELECT table_name, content_hash, payload_format, payload "
+                f"FROM prepared WHERE matcher_fingerprint = ? "
+                f"AND table_name IN ({placeholders})",
+                (fingerprint, *chunk),
+            ).fetchall()
+            for table_name, content_hash, payload_format, blob in rows:
+                if content_hash != wanted.get(table_name):
+                    continue  # a different build generation; not ours to judge
+                prepared = self._decode(payload_format, blob, fingerprint, table_name)
+                if prepared is None:
+                    self._discard(fingerprint, table_name, content_hash)
+                    continue
+                found[table_name] = prepared
+                self._record_touch((fingerprint, table_name, content_hash))
+                self.hits += 1
+        return found
+
+    def contains_many(
+        self, fingerprint: str, keys: Sequence[tuple[str, str]]
+    ) -> set[str]:
+        """Batch existence probe: the subset of key names present in the store.
+
+        Like ``key in store`` (current payload format only, no decode, no
+        LRU touch) but one ``IN (...)`` query per ~500 names.
+        """
+        wanted = dict(keys)
+        names = list(wanted)
+        present: set[str] = set()
+        for start in range(0, len(names), _MAX_IN_VARS):
+            chunk = names[start : start + _MAX_IN_VARS]
+            placeholders = ", ".join("?" * len(chunk))
+            rows = self._connection.execute(
+                "SELECT table_name, content_hash FROM prepared "
+                f"WHERE matcher_fingerprint = ? AND payload_format = ? "
+                f"AND table_name IN ({placeholders})",
+                (fingerprint, PREPARED_PAYLOAD_FORMAT, *chunk),
+            ).fetchall()
+            present.update(
+                name for name, content_hash in rows if content_hash == wanted.get(name)
+            )
+        return present
 
     def put(self, prepared: PreparedTable, content_hash: Optional[str] = None) -> None:
         """Persist one prepared table (replacing any entry under its key)."""
@@ -333,8 +472,9 @@ class PreparedStore:
         # Settle deferred hit recency first so LRU eviction below never
         # victimises a row that was just served.
         self._flush_touches()
-        with self._connection:
-            self._connection.execute(
+        connection = self._connection
+        with connection:
+            connection.execute(
                 "INSERT INTO prepared (matcher_fingerprint, table_name, content_hash, "
                 "payload_format, payload, last_used) VALUES (?, ?, ?, ?, ?, ?) "
                 "ON CONFLICT(matcher_fingerprint, table_name, content_hash) DO UPDATE "
@@ -351,11 +491,52 @@ class PreparedStore:
             )
             overflow = len(self) - self.max_entries
             if overflow > 0:
-                self._connection.execute(
+                connection.execute(
                     "DELETE FROM prepared WHERE rowid IN ("
-                    "SELECT rowid FROM prepared ORDER BY last_used LIMIT ?)",
+                    "SELECT rowid FROM prepared ORDER BY last_used, rowid LIMIT ?)",
                     (overflow,),
                 )
+            self._evict_over_byte_budget(connection)
+
+    def _evict_over_byte_budget(self, connection: sqlite3.Connection) -> None:
+        """Evict LRU rows until the summed payload size fits ``max_bytes``.
+
+        The most recently used row (the one :meth:`put` just wrote) is never
+        evicted, so one oversized payload degrades to "budget holds exactly
+        this row" instead of an insert/evict livelock.
+        """
+        if self.max_bytes is None:
+            return
+        total = connection.execute(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM prepared"
+        ).fetchone()[0]
+        if total <= self.max_bytes:
+            return  # one aggregate probe; no per-row scan while under budget
+        rows = connection.execute(
+            "SELECT LENGTH(payload) FROM prepared ORDER BY last_used, rowid"
+        ).fetchall()
+        victims = 0
+        for (size,) in rows[:-1]:  # LRU first; never the newest row
+            if total <= self.max_bytes:
+                break
+            victims += 1
+            total -= size
+        if victims:
+            # Victims are exactly the first `victims` rows in LRU order, so
+            # a LIMIT subquery deletes them without an unbounded IN (...)
+            # placeholder list.
+            connection.execute(
+                "DELETE FROM prepared WHERE rowid IN ("
+                "SELECT rowid FROM prepared ORDER BY last_used, rowid LIMIT ?)",
+                (victims,),
+            )
+
+    @property
+    def total_bytes(self) -> int:
+        """Summed size of all stored payload blobs (the ``max_bytes`` metric)."""
+        return self._connection.execute(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM prepared"
+        ).fetchone()[0]
 
     def prepare(
         self,

@@ -16,9 +16,18 @@ through one shared **prune-then-rerank core**, :func:`prune_then_rerank`:
    (:meth:`BaseMatcher.prepare <repro.matchers.base.BaseMatcher.prepare>`)
    and streamed through
    :meth:`~repro.matchers.base.BaseMatcher.match_prepared` against every
-   resolved candidate, serially or in a process pool whose workers receive
-   the prepared query once via the pool initializer (not once per
-   candidate).
+   resolved candidate, serially or in a process pool.
+
+The parallel rerank is fully parallel end to end: tasks are **batched
+name-chunks**, and — when the caller supplies a
+:class:`WorkerCandidateSource` — each worker resolves its chunk *itself*,
+reading candidate metadata from the (WAL-mode) sketch store and pickled
+prepared payloads from the prepared store in one ``IN (...)`` query per
+chunk, with a CSV-prepare write-through fallback on cold candidates.
+Nothing candidate-sized is ever pickled through the parent.  The scorer and
+the prepared query ship to each worker exactly once per query (a worker-side
+token cache), so a persistent :class:`RerankPool` can serve many queries
+from the same warm workers without re-paying pool spawn or query shipping.
 
 :class:`DiscoveryEngine` and
 :class:`~repro.lake.engine.LakeDiscoveryEngine` are thin parameterisations
@@ -27,9 +36,17 @@ of this core, so their rankings can never drift apart.
 
 from __future__ import annotations
 
+import csv
+import itertools
+import math
+import multiprocessing
+import os
+import pickle
+import sqlite3
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Optional, Union
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.data.table import Table
 from repro.discovery.prepared import PreparedTableCache
@@ -41,7 +58,11 @@ __all__ = [
     "DiscoveryResult",
     "DiscoveryEngine",
     "PairScorer",
+    "RerankPool",
+    "WorkerCandidateSource",
     "prune_then_rerank",
+    "fan_out_names",
+    "MIN_FAN_OUT",
     "sort_discovery_results",
     "DEFAULT_MIN_CANDIDATES",
     "DEFAULT_CANDIDATE_MULTIPLIER",
@@ -188,23 +209,290 @@ class PairScorer:
         return self.score_prepared(self.matcher.prepare(query), candidate)
 
 
-# Per-worker state of the parallel rerank: the scorer and the prepared query
-# are shipped ONCE per worker through the pool initializer instead of being
-# pickled into every task (``pool.map`` used to re-send the query table once
-# per candidate).
-_WORKER_SCORER: Optional[PairScorer] = None
-_WORKER_QUERY: Optional[PreparedTable] = None
+@dataclass
+class WorkerCandidateSource:
+    """A picklable recipe that lets rerank workers resolve candidates themselves.
+
+    Shipped (with each chunk task — it is a couple hundred bytes) to worker
+    processes, which open their own per-PID connections to the two WAL
+    stores and pull candidate payloads straight from SQLite: the sketch
+    store answers ``name -> (build-time content hash, source CSV path)`` in
+    one batched query, the prepared store answers ``(fingerprint, name,
+    hash) -> pickled PreparedTable`` in another.  A candidate missing from
+    the prepared store falls back to reading its CSV and preparing in the
+    worker, writing the payload through for the next query (WAL serializes
+    the occasional concurrent writer).
+
+    Attributes
+    ----------
+    sketch_store_path / prepared_store_path:
+        File paths of the two stores (in-memory stores cannot cross
+        processes, so callers only build a source for file-backed lakes).
+    fingerprint:
+        The matcher fingerprint candidates are stored under.
+    write_through:
+        Whether cold candidates prepared in a worker are persisted.
+    max_entries / max_bytes:
+        Eviction caps the workers' write-through store handles apply —
+        mirrored from the parent's store so budgets hold regardless of who
+        writes.
+    store_hits:
+        Filled by :func:`prune_then_rerank` after a parallel rerank: how
+        many candidates (summed over all workers) were served straight from
+        the prepared store.
+    """
+
+    sketch_store_path: str
+    prepared_store_path: str
+    fingerprint: str
+    write_through: bool = True
+    max_entries: int = 4096
+    max_bytes: Optional[int] = None
+    store_hits: int = field(default=0, compare=False)
 
 
-def _rerank_worker_init(scorer: PairScorer, query: PreparedTable) -> None:
-    global _WORKER_SCORER, _WORKER_QUERY
-    _WORKER_SCORER = scorer
-    _WORKER_QUERY = query
+class RerankPool:
+    """A persistent process pool for chunked rerank (and experiment) tasks.
+
+    ``ProcessPoolExecutor`` costs a spawn per pool plus an initializer run
+    per worker; paying that on every :meth:`LakeDiscoveryEngine.query
+    <repro.lake.engine.LakeDiscoveryEngine.query>` dwarfs the rerank itself
+    in a heavy-traffic serving scenario.  A ``RerankPool`` keeps one
+    executor alive across queries — workers stay warm, and per-query state
+    travels inside the tasks (with a worker-side cache so the query payload
+    is unpickled once per worker, not once per chunk).
+
+    The pool is lazy (no processes until the first :meth:`map`) and
+    self-healing: a :class:`BrokenProcessPool` (a worker died) discards the
+    executor and retries the batch once on a fresh one.
+
+    Workers are **spawned, not forked**: rerank workers open their own
+    SQLite connections to the lake's stores, and SQLite database state must
+    never cross a ``fork()`` — a forked child inherits the parent
+    connections' file descriptors and in-process lock bookkeeping, which
+    silently corrupts any connection the child then opens to the same
+    files.  Spawn start-up is exactly the cost this pool exists to amortise.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers
+        #: How many executors this pool has spawned (observability: a
+        #: serving loop should see this stay at 1).
+        self.spawn_count = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def workers(self) -> int:
+        """The resolved worker count (used to size task chunks)."""
+        return self.max_workers or os.cpu_count() or 1
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            self.spawn_count += 1
+        return self._executor
+
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        """Run *fn* over *tasks* on the warm workers, in order."""
+        tasks = list(tasks)
+        try:
+            return list(self._ensure_executor().map(fn, tasks))
+        except BrokenProcessPool:
+            # A worker crashed (OOM, hard kill): heal the pool and give the
+            # batch one more chance before surfacing the failure.
+            self.close()
+            return list(self._ensure_executor().map(fn, tasks))
+
+    def close(self) -> None:
+        """Shut the executor down; the next :meth:`map` spawns a fresh one."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "RerankPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
-def _rerank_worker_score(candidate: Union[Table, PreparedTable]) -> DiscoveryResult:
-    assert _WORKER_SCORER is not None and _WORKER_QUERY is not None
-    return _WORKER_SCORER.score_prepared(_WORKER_QUERY, candidate)
+# --------------------------------------------------------------------- #
+# worker-side machinery of the parallel rerank
+# --------------------------------------------------------------------- #
+
+#: Tokens distinguishing one query's shipped state from the next, so a
+#: persistent pool's workers know when to re-unpickle.
+_QUERY_TOKENS = itertools.count()
+
+# Per-worker cache for the query state (scorer + prepared query), keyed by
+# its token: every chunk task carries the pickled state, but a worker
+# unpickles it only once per query.
+_WORKER_QUERY_STATE: Optional[tuple[str, PairScorer, PreparedTable]] = None
+
+
+def _load_query_state(token: str, blob: bytes) -> tuple[PairScorer, PreparedTable]:
+    global _WORKER_QUERY_STATE
+    if _WORKER_QUERY_STATE is not None and _WORKER_QUERY_STATE[0] == token:
+        return _WORKER_QUERY_STATE[1], _WORKER_QUERY_STATE[2]
+    scorer, query_prepared = pickle.loads(blob)
+    _WORKER_QUERY_STATE = (token, scorer, query_prepared)
+    return scorer, query_prepared
+
+
+def _resolve_chunk_in_worker(
+    source: WorkerCandidateSource, names: Sequence[str], scorer: PairScorer
+) -> tuple[list[Union[Table, PreparedTable]], int]:
+    """Resolve one name-chunk inside a worker; returns (candidates, store hits).
+
+    Store connections are opened per *chunk*, never cached for the worker's
+    lifetime: when the last lock-holding connection to a WAL database
+    closes, SQLite checkpoints and deletes the ``-wal``/``-shm`` files, and
+    an idle connection in another process is left frozen on its old mmap —
+    it would silently serve a stale snapshot forever.  A fresh open per
+    chunk (two ~100µs connects amortised over the whole chunk) always sees
+    the latest committed state.
+
+    The imports are lazy because ``repro.lake`` imports this module — a
+    top-level import would be circular.
+    """
+    from repro.data.csv_io import read_csv
+    from repro.data.fingerprint import table_content_hash
+    from repro.discovery.prepared import PreparedStore
+    from repro.lake.store import SketchStore
+
+    # Sketches are touched read-only; the prepared store stays writable for
+    # the cold-candidate write-through (with the parent's eviction caps).
+    sketch_store = SketchStore(source.sketch_store_path, read_only=True)
+    prepared_store = PreparedStore(
+        source.prepared_store_path,
+        max_entries=source.max_entries,
+        max_bytes=source.max_bytes,
+    )
+    try:
+        meta = sketch_store.table_meta(names)
+        keys = [(name, meta[name][0]) for name in names if name in meta]
+        found = prepared_store.get_many(source.fingerprint, keys)
+        resolved: list[Union[Table, PreparedTable]] = []
+        hits = 0
+        for name in names:
+            prepared = found.get(name)
+            if prepared is not None:
+                hits += 1
+                resolved.append(prepared)
+                continue
+            _build_hash, path = meta.get(name, (None, None))
+            if path is None:
+                continue  # neither stored nor on disk: cannot be ranked
+            try:
+                table = read_csv(path, name=name)
+            except (OSError, ValueError, csv.Error):
+                continue  # stale store entry (CSV moved/corrupted since build)
+            # Mirror the serial provider for CSVs edited since `lake build`:
+            # the batch lookup above keys on the build-time hash, but a
+            # previous query may already have written this table through
+            # under its *current* content — probe that before re-preparing.
+            current_hash = table_content_hash(table)
+            prepared = prepared_store.get(source.fingerprint, name, current_hash)
+            if prepared is None:
+                prepared = scorer.matcher.prepare(table)
+                if source.write_through:
+                    try:
+                        prepared_store.put(prepared, content_hash=current_hash)
+                    except sqlite3.Error:  # pragma: no cover - lock contention
+                        pass  # the payload still serves this query; only reuse is lost
+            resolved.append(prepared)
+        return resolved, hits
+    finally:
+        prepared_store.close()
+        sketch_store.close()
+
+
+#: One parallel-rerank task: ``(query token, pickled (scorer, prepared
+#: query), optional worker-side candidate source, chunk)``.  The chunk is a
+#: list of table *names* when a source is given (workers resolve), else a
+#: list of parent-resolved ``Table``/``PreparedTable`` candidates.
+_RerankChunk = tuple[str, bytes, Optional[WorkerCandidateSource], list]
+
+
+def _rerank_worker_chunk(task: _RerankChunk) -> tuple[list[DiscoveryResult], int]:
+    token, state_blob, source, items = task
+    scorer, query_prepared = _load_query_state(token, state_blob)
+    store_hits = 0
+    if source is not None:
+        candidates, store_hits = _resolve_chunk_in_worker(source, items, scorer)
+    else:
+        candidates = items
+    results = [
+        scorer.score_prepared(query_prepared, candidate) for candidate in candidates
+    ]
+    return results, store_hits
+
+
+#: Target chunks per worker: >1 smooths uneven chunk costs, while each chunk
+#: still amortises its two SQLite round trips over many candidates.
+_CHUNKS_PER_WORKER = 2
+
+#: Minimum candidate count for a parallel rerank to actually fan out;
+#: below it the serial path is used.  Callers that prepare state for one
+#: path or the other (e.g. the lake engine arming a worker source vs
+#: building a serial prefetch) must consult :func:`fan_out_names` with this
+#: threshold — the decision is defined once, here.
+MIN_FAN_OUT = 2
+
+
+def fan_out_names(query_name: str, candidate_names: Iterable[str]) -> list[str]:
+    """The candidate names a parallel rerank would fan out over.
+
+    The single definition of the "will it fan out" input: the shortlist
+    minus the query's own name.  ``len(fan_out_names(...)) >= MIN_FAN_OUT``
+    is the exact predicate :func:`prune_then_rerank` applies before taking
+    the worker-resolved path.
+    """
+    return [name for name in candidate_names if name != query_name]
+
+
+def _chunked(items: list, workers: int) -> list[list]:
+    if not items:
+        return []
+    chunk_count = max(1, min(len(items), workers * _CHUNKS_PER_WORKER))
+    size = math.ceil(len(items) / chunk_count)
+    return [items[start : start + size] for start in range(0, len(items), size)]
+
+
+def _parallel_rerank(
+    scorer: PairScorer,
+    query_prepared: PreparedTable,
+    items: list,
+    source: Optional[WorkerCandidateSource],
+    pool: Optional[RerankPool],
+    max_workers: Optional[int],
+) -> tuple[list[DiscoveryResult], int]:
+    """Fan one rerank out over batched chunks; returns (results, store hits)."""
+    state_blob = pickle.dumps((scorer, query_prepared), protocol=4)
+    token = f"{os.getpid()}-{next(_QUERY_TOKENS)}"
+    workers = pool.workers if pool is not None else (max_workers or os.cpu_count() or 1)
+    tasks: list[_RerankChunk] = [
+        (token, state_blob, source, chunk) for chunk in _chunked(items, workers)
+    ]
+    if pool is not None:
+        outcomes = pool.map(_rerank_worker_chunk, tasks)
+    else:
+        # Transient pool: same spawn start method as RerankPool (workers
+        # touching SQLite must not inherit forked connection state).
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=multiprocessing.get_context("spawn"),
+        ) as executor:
+            outcomes = list(executor.map(_rerank_worker_chunk, tasks))
+    results: list[DiscoveryResult] = []
+    store_hits = 0
+    for chunk_results, chunk_hits in outcomes:
+        results.extend(chunk_results)
+        store_hits += chunk_hits
+    return results, store_hits
 
 
 def prune_then_rerank(
@@ -218,6 +506,8 @@ def prune_then_rerank(
     parallel: bool = False,
     max_workers: Optional[int] = None,
     prepared_cache: Optional[PreparedTableCache] = None,
+    worker_source: Optional[WorkerCandidateSource] = None,
+    pool: Optional[RerankPool] = None,
 ) -> tuple[list[DiscoveryResult], int]:
     """The discovery core shared by every engine: resolve, rerank, sort.
 
@@ -243,17 +533,29 @@ def prune_then_rerank(
     top_k:
         Optionally truncate the final ranking.
     parallel / max_workers:
-        Rerank in a process pool.  Workers receive the scorer and the
-        prepared query once each via the pool initializer.
+        Rerank in a process pool.  Tasks are batched chunks (not
+        per-candidate futures); the scorer and the prepared query ship to
+        each worker once per query via a worker-side token cache.
     prepared_cache:
         Optional prepared provider — a
         :class:`~repro.discovery.prepared.PreparedTableCache`, a
         :class:`~repro.discovery.prepared.PreparedStore`, or anything else
         with their ``prepare(matcher, table, content_hash=...)`` contract.
         When given, the query's prepared table — and, on the serial path,
-        every candidate's — is served from / written through it.  (Parallel
-        reranks prepare candidates inside worker processes, which cannot
+        every candidate's — is served from / written through it.
+        (Parent-resolved parallel reranks ship whatever ``resolve``
+        returned; raw tables are prepared inside the workers, which cannot
         see the parent's provider.)
+    worker_source:
+        Optional :class:`WorkerCandidateSource`.  When given together with
+        ``parallel=True``, ``resolve`` is bypassed entirely: workers
+        receive name chunks and pull candidate payloads straight from the
+        WAL stores themselves — the fully parallel warm path.  After the
+        call, ``worker_source.store_hits`` holds the summed prepared-store
+        hits.
+    pool:
+        Optional persistent :class:`RerankPool`.  Without one, each
+        parallel call spawns (and tears down) a transient pool.
 
     Returns
     -------
@@ -263,6 +565,21 @@ def prune_then_rerank(
     """
     if mode not in ("joinable", "unionable", "combined"):
         raise ValueError(f"unknown discovery mode {mode!r}")
+    if parallel and worker_source is not None:
+        names = fan_out_names(query.name, candidate_names)
+        if len(names) >= MIN_FAN_OUT:
+            if prepared_cache is not None:
+                query_prepared = prepared_cache.prepare(scorer.matcher, query)
+            else:
+                query_prepared = scorer.matcher.prepare(query)
+            results, store_hits = _parallel_rerank(
+                scorer, query_prepared, names, worker_source, pool, max_workers
+            )
+            worker_source.store_hits = store_hits
+            sort_discovery_results(results, mode)
+            truncated = results[:top_k] if top_k is not None else results
+            return truncated, len(results)
+        candidate_names = names
     candidates: list[Union[Table, PreparedTable]] = []
     for name in candidate_names:
         if name == query.name:
@@ -275,16 +592,12 @@ def prune_then_rerank(
     else:
         query_prepared = scorer.matcher.prepare(query)
     if parallel and len(candidates) > 1:
-        # Candidates are prepared inside the workers; the (parent-process)
-        # prepared cache only serves the query on this path.  Candidates the
-        # resolver already delivered as PreparedTable ship their payload to
-        # the worker and skip the prepare there too.
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_rerank_worker_init,
-            initargs=(scorer, query_prepared),
-        ) as pool:
-            results = list(pool.map(_rerank_worker_score, candidates))
+        # Parent-resolved parallel path (in-memory repositories / stores):
+        # candidates the resolver delivered as PreparedTable ship their
+        # payload to the worker; raw tables are prepared in-worker.
+        results, _ = _parallel_rerank(
+            scorer, query_prepared, candidates, None, pool, max_workers
+        )
     else:
         # Candidate-side caching only pays off when the matcher actually
         # consumes prepared payloads; a legacy get_matches override discards

@@ -120,8 +120,10 @@ def build_from_paths(
         CSV that could not be parsed (the table is skipped).
     """
     report = BuildReport()
+    # One batched store round trip for the known hashes, not one per CSV.
+    known = store.table_meta([Path(path).stem for path in csv_paths])
     tasks: list[_BuildTask] = [
-        (str(path), store.content_hash(Path(path).stem), store.config)
+        (str(path), known.get(Path(path).stem, (None, None))[0], store.config)
         for path in csv_paths
     ]
     effective = _effective_workers(workers, len(tasks))
@@ -203,15 +205,21 @@ def prepare_lake(
     """
     fingerprint = matcher.fingerprint()
     report = PrepareReport()
+    # Two batched round trips — (hash, path) metadata from the sketch store
+    # and an existence probe against the prepared store — instead of three
+    # point queries per lake table.  The probe never unpickles payloads.
+    names = store.table_names
+    meta = store.table_meta(names)
+    stored = prepared_store.contains_many(
+        fingerprint,
+        [(name, meta[name][0]) for name in names if name in meta and meta[name][0]],
+    )
     tasks: list[tuple[str, str, Optional[str]]] = []
-    for name in store.table_names:
-        stored_hash = store.content_hash(name)
-        # Existence probe only — `in` is one indexed SELECT; get() would
-        # unpickle the whole payload (embedded table included) per entry.
-        if stored_hash and (fingerprint, name, stored_hash) in prepared_store:
+    for name in names:
+        stored_hash, path = meta.get(name, (None, None))
+        if name in stored:
             report.already_stored += 1
             continue
-        path = store.source_path(name)
         if path is None:
             report.missing.append(name)
             continue
@@ -224,7 +232,7 @@ def prepare_lake(
             return
         prepared_store.put(prepared, content_hash=content_hash)
         report.prepared += 1
-        expected = store.content_hash(name)
+        expected = meta.get(name, (None, None))[0]
         if expected is not None and expected != content_hash:
             report.stale.append(name)
 

@@ -19,8 +19,16 @@ Both stages execute through the shared
 :func:`~repro.discovery.search.prune_then_rerank` core: this engine merely
 injects its LSH shortlist as the pruning strategy and its lazy CSV loading
 as the resolution strategy.  The query table is prepared once per query
-(:meth:`BaseMatcher.prepare`) and — on the parallel path — shipped once per
-worker via the pool initializer rather than pickled per candidate.
+(:meth:`BaseMatcher.prepare`) and shipped to each rerank worker once.
+
+The *warm* parallel path is parallel end to end: for a file-backed lake the
+engine hands the rerank a :class:`~repro.discovery.search.WorkerCandidateSource`
+— workers receive batched name-chunks and pull prepared payloads straight
+from the WAL-mode stores themselves, so nothing candidate-sized flows
+through this process.  Repeated :meth:`LakeDiscoveryEngine.query` calls
+reuse one persistent :class:`~repro.discovery.search.RerankPool` of warm
+workers (created lazily on the first parallel query; release it with
+:meth:`LakeDiscoveryEngine.close` or a ``with`` block).
 """
 
 from __future__ import annotations
@@ -36,9 +44,13 @@ from repro.discovery.search import (
     DEFAULT_CANDIDATE_MULTIPLIER,
     DEFAULT_MIN_CANDIDATES,
     DEFAULT_UNION_THRESHOLD,
+    MIN_FAN_OUT,
     DatasetRepository,
     PairScorer,
     DiscoveryResult,
+    RerankPool,
+    WorkerCandidateSource,
+    fan_out_names,
     prune_then_rerank,
 )
 from repro.lake.index import CandidateTable, LakeIndex, LSHParams
@@ -80,6 +92,13 @@ class LakeDiscoveryEngine:
         after their first prepare, so one query warms the next.  When a
         ``prepared_cache`` is also set it fronts the store as the in-memory
         tier (its ``backing`` is wired to the store).
+    rerank_pool:
+        Optional persistent :class:`~repro.discovery.search.RerankPool`
+        shared across queries (and possibly across engines).  When left
+        ``None``, the engine lazily creates its own on the first
+        ``parallel=True`` query and keeps it warm for later queries —
+        release it with :meth:`close` (engines never close pools that were
+        handed to them).
     """
 
     matcher: BaseMatcher
@@ -90,6 +109,7 @@ class LakeDiscoveryEngine:
     min_candidates: int = DEFAULT_MIN_CANDIDATES
     prepared_cache: Optional[PreparedTableCache] = None
     prepared_store: Optional[PreparedStore] = None
+    rerank_pool: Optional[RerankPool] = None
     #: How many candidates the matcher actually reranked in the last
     #: :meth:`query` (before top-k truncation) — the pruning statistic.
     last_rerank_count: int = field(default=0, repr=False, init=False)
@@ -99,6 +119,41 @@ class LakeDiscoveryEngine:
     last_store_hits: int = field(default=0, repr=False, init=False)
     _index: Optional[LakeIndex] = field(default=None, repr=False, init=False)
     _index_version: int = field(default=-1, repr=False, init=False)
+    _owns_pool: bool = field(default=False, repr=False, init=False)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the engine-owned rerank pool (if any).
+
+        Stores are left open — they belong to whoever constructed them.  A
+        pool passed in by the caller is likewise left running (it may serve
+        other engines); only a pool this engine lazily created is shut
+        down.
+        """
+        if self.rerank_pool is not None and self._owns_pool:
+            self.rerank_pool.close()
+            self.rerank_pool = None
+            self._owns_pool = False
+
+    def __enter__(self) -> "LakeDiscoveryEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_rerank_pool(self, max_workers: Optional[int]) -> RerankPool:
+        """The persistent pool for parallel reranks, created on first use.
+
+        The pool's size is fixed when it is created; a different
+        ``max_workers`` on a later query reuses the existing warm pool
+        rather than respawning.
+        """
+        if self.rerank_pool is None:
+            self.rerank_pool = RerankPool(max_workers=max_workers)
+            self._owns_pool = True
+        return self.rerank_pool
 
     # ------------------------------------------------------------------ #
     # build / maintenance
@@ -168,30 +223,58 @@ class LakeDiscoveryEngine:
             return self.prepared_cache
         return self.prepared_store
 
+    def _prefetch_prepared(
+        self,
+        names: list[str],
+        query_name: str,
+        repository: Optional[DatasetRepository],
+        fingerprint: str,
+    ) -> dict[str, PreparedTable]:
+        """Batch-load the shortlist's stored payloads in one round trip.
+
+        One :meth:`SketchStore.table_meta` query for the build-time content
+        hashes plus one :meth:`PreparedStore.get_many` for the payloads —
+        instead of two point queries per candidate.  Names the repository
+        will serve anyway are skipped (the in-memory table wins, as in
+        :meth:`_resolve_candidate`).
+        """
+        wanted = [
+            name
+            for name in names
+            if name != query_name
+            and (repository is None or repository.get(name) is None)
+        ]
+        if not wanted:
+            return {}
+        meta = self.store.table_meta(wanted)
+        keys = [
+            (name, meta[name][0]) for name in wanted if name in meta and meta[name][0]
+        ]
+        if not keys:
+            return {}
+        return self.prepared_store.get_many(fingerprint, keys)
+
     def _resolve_candidate(
         self,
         name: str,
         repository: Optional[DatasetRepository],
-        fingerprint: Optional[str] = None,
+        prefetched: dict[str, PreparedTable],
     ) -> Optional[Union[Table, PreparedTable]]:
         if repository is not None:
             table = repository.get(name)
             if table is not None:
                 return table
-        if fingerprint is not None and self.prepared_store is not None:
-            # Warm path: the stored payload embeds the table, so a hit
-            # skips the CSV read AND the prepare for this candidate.  Keyed
-            # by the content hash recorded at build time, so the warm rerank
-            # is consistent with the sketch shortlist: both answer as of the
-            # last `lake build`.  A CSV edited on disk keeps serving its
-            # build-time payload until the lake is rebuilt (the rebuild
-            # moves the stored hash, which invalidates this lookup).
-            stored_hash = self.store.content_hash(name)
-            if stored_hash:
-                prepared = self.prepared_store.get(fingerprint, name, stored_hash)
-                if prepared is not None:
-                    self.last_store_hits += 1
-                    return prepared
+        # Warm path: the prefetched payload embeds the table, so a hit
+        # skips the CSV read AND the prepare for this candidate.  Keyed by
+        # the content hash recorded at build time, so the warm rerank is
+        # consistent with the sketch shortlist: both answer as of the last
+        # `lake build`.  A CSV edited on disk keeps serving its build-time
+        # payload until the lake is rebuilt (the rebuild moves the stored
+        # hash, which invalidates the prefetch lookup).
+        prepared = prefetched.get(name)
+        if prepared is not None:
+            self.last_store_hits += 1
+            return prepared
         path = self.store.source_path(name) if name in self.store else None
         if path is not None:
             try:
@@ -228,11 +311,18 @@ class LakeDiscoveryEngine:
         top_k:
             Truncate the final ranking (also bounds the shortlist).
         parallel:
-            Rerank candidates in a process pool instead of serially.
+            Rerank candidates in a process pool instead of serially.  For a
+            file-backed lake the workers resolve candidates themselves —
+            batched name-chunks, payloads read straight from the WAL
+            stores, CSV-prepare write-through on cold candidates — and the
+            (persistent) :attr:`rerank_pool` keeps them warm across
+            queries.
         max_workers:
-            Pool size for the parallel path (default: executor's choice).
+            Pool size for the parallel path (fixed when the persistent
+            pool is first created; default: executor's choice).
         """
         shortlist = self.shortlist(query, top_k=top_k)
+        names = [entry.table_name for entry in shortlist]
         self.last_store_hits = 0
         # The prepared-store fast path hands fully prepared candidates to the
         # rerank; matchers that insist on their legacy get_matches override
@@ -243,16 +333,49 @@ class LakeDiscoveryEngine:
             and not self.matcher.prefers_legacy_get_matches()
             else None
         )
+        # Fully parallel warm path: workers pull payloads from the stores
+        # themselves.  Needs file-backed stores (in-memory SQLite cannot
+        # cross processes), no repository (workers cannot see it), and a
+        # shortlist the rerank will actually fan out — otherwise it falls
+        # back to the serial resolver, which must keep its prefetch.  The
+        # fan-out decision is `prune_then_rerank`'s; both sides evaluate the
+        # one shared predicate.
+        worker_source = None
+        if (
+            parallel
+            and fingerprint is not None
+            and repository is None
+            and len(fan_out_names(query.name, names)) >= MIN_FAN_OUT
+            and self.store.path != ":memory:"
+            and self.prepared_store.path != ":memory:"
+        ):
+            worker_source = WorkerCandidateSource(
+                sketch_store_path=self.store.path,
+                prepared_store_path=self.prepared_store.path,
+                fingerprint=fingerprint,
+                max_entries=self.prepared_store.max_entries,
+                max_bytes=self.prepared_store.max_bytes,
+            )
+        prefetched: dict[str, PreparedTable] = {}
+        if fingerprint is not None and worker_source is None:
+            prefetched = self._prefetch_prepared(
+                names, query.name, repository, fingerprint
+            )
+        pool = self._ensure_rerank_pool(max_workers) if parallel else None
         results, rerank_count = prune_then_rerank(
             query,
-            [entry.table_name for entry in shortlist],
-            lambda name: self._resolve_candidate(name, repository, fingerprint),
+            names,
+            lambda name: self._resolve_candidate(name, repository, prefetched),
             PairScorer(matcher=self.matcher, union_threshold=self.union_threshold),
             mode=mode,
             top_k=top_k,
             parallel=parallel,
             max_workers=max_workers,
             prepared_cache=self._prepared_provider(),
+            worker_source=worker_source,
+            pool=pool,
         )
+        if worker_source is not None:
+            self.last_store_hits = worker_source.store_hits
         self.last_rerank_count = rerank_count
         return results

@@ -16,15 +16,20 @@ Consistency properties:
 * **Config pinning** — the sketch parameters are persisted on creation;
   reopening with a conflicting :class:`SketchConfig` raises instead of
   silently mixing incomparable signatures.
+* **Concurrent readers** — file-backed stores run in WAL journal mode with
+  one connection per process (:meth:`SketchStore._ensure_connection` is
+  keyed by PID), so parallel-rerank workers resolve candidate metadata
+  concurrently with a writing parent.  ``read_only=True`` opens an existing
+  store without ever writing (safe for any number of reader processes).
 """
 
 from __future__ import annotations
 
 import json
-import sqlite3
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Iterator, Optional, Sequence, Union
 
+from repro.data.sqlite_store import _MAX_IN_VARS, PerProcessSqliteStore
 from repro.data.table import Table
 from repro.lake.profiles import (
     ColumnSketch,
@@ -60,7 +65,7 @@ CREATE TABLE IF NOT EXISTS columns (
 """
 
 
-class SketchStore:
+class SketchStore(PerProcessSqliteStore):
     """A persistent, incrementally updatable collection of table sketches.
 
     Parameters
@@ -70,56 +75,48 @@ class SketchStore:
     config:
         Sketch parameters.  For an existing store the persisted config wins;
         passing a different explicit config raises ``ValueError``.
+    read_only:
+        Open an *existing* store for reading only (SQLite ``mode=ro``) —
+        what parallel-rerank workers use to resolve candidate metadata
+        while the parent may still be writing.
     """
+
+    _STORE_KIND = "sketch store"
+    _REQUIRED_TABLES = frozenset({"meta"})
+    _SCHEMA_SCRIPT = _SCHEMA
+    _FOREIGN_KEYS = True
 
     def __init__(
         self,
         path: Union[str, Path] = ":memory:",
         config: Optional[SketchConfig] = None,
+        read_only: bool = False,
     ) -> None:
-        self.path = str(path)
-        self._connection = None
-        try:
-            self._connection = sqlite3.connect(self.path)
-            self._connection.execute("PRAGMA foreign_keys = ON")
-            existing = {
-                row[0]
-                for row in self._connection.execute(
-                    "SELECT name FROM sqlite_master WHERE type = 'table'"
-                )
-            }
-            if existing and "meta" not in existing:
-                # A valid SQLite database, but somebody else's: refuse to
-                # adopt it rather than writing sketch tables into it.
-                self._connection.close()
-                raise ValueError(
-                    f"{self.path!r} is a SQLite database but not a sketch store"
-                )
-            self._connection.executescript(_SCHEMA)
-        except sqlite3.Error as exc:
-            if self._connection is not None:
-                self._connection.close()
-            raise ValueError(
-                f"cannot open {self.path!r} as a sketch store (SQLite) file: {exc}"
-            ) from exc
+        connection = self._init_connections(path, read_only)
         stored = self._read_meta("sketch_config")
         if stored is None:
+            if read_only:
+                self.close()
+                raise ValueError(
+                    f"cannot open {self.path!r} read-only: not an initialised "
+                    "sketch store"
+                )
             self.config = config or SketchConfig()
-            with self._connection:
+            with connection:
                 self._write_meta("schema_version", str(_SCHEMA_VERSION))
                 self._write_meta("sketch_config", json.dumps(self.config.as_dict()))
                 self._write_meta("version", "0")
         else:
             schema_version = int(self._read_meta("schema_version") or 0)
             if schema_version != _SCHEMA_VERSION:
-                self._connection.close()
+                self.close()
                 raise ValueError(
                     f"store at {self.path!r} has schema version {schema_version}, "
                     f"this code reads version {_SCHEMA_VERSION}"
                 )
             persisted = SketchConfig.from_dict(json.loads(stored))
             if config is not None and config != persisted:
-                self._connection.close()
+                self.close()
                 raise ValueError(
                     f"store at {self.path!r} was built with {persisted}, "
                     f"cannot reopen with {config}"
@@ -127,12 +124,8 @@ class SketchStore:
             self.config = persisted
 
     # ------------------------------------------------------------------ #
-    # lifecycle
+    # lifecycle (connection machinery inherited from PerProcessSqliteStore)
     # ------------------------------------------------------------------ #
-    def close(self) -> None:
-        """Close the underlying connection (the store object becomes unusable)."""
-        self._connection.close()
-
     def __enter__(self) -> "SketchStore":
         return self
 
@@ -321,6 +314,31 @@ class SketchStore:
             "SELECT content_hash FROM tables WHERE name = ?", (name,)
         ).fetchone()
         return row[0] if row else None
+
+    def table_meta(
+        self, names: Sequence[str]
+    ) -> dict[str, tuple[str, Optional[str]]]:
+        """Batch ``{name: (content hash, source path)}`` lookup.
+
+        One ``IN (...)`` query per ~500 names instead of two point lookups
+        per name — how a discovery shortlist (or a rerank worker's name
+        chunk) resolves its candidates' build-time hashes and CSV paths in
+        a single store round trip.  Unknown names are absent from the
+        result.
+        """
+        names = list(names)
+        out: dict[str, tuple[str, Optional[str]]] = {}
+        for start in range(0, len(names), _MAX_IN_VARS):
+            chunk = names[start : start + _MAX_IN_VARS]
+            placeholders = ", ".join("?" * len(chunk))
+            rows = self._connection.execute(
+                "SELECT name, content_hash, source_path FROM tables "
+                f"WHERE name IN ({placeholders})",
+                chunk,
+            ).fetchall()
+            for name, content_hash, source_path in rows:
+                out[name] = (content_hash, source_path)
+        return out
 
     def source_path(self, name: str) -> Optional[str]:
         """The recorded source path of *name* (``None`` when not recorded)."""

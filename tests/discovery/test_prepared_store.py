@@ -240,6 +240,229 @@ class TestPersistenceAndBounds:
             assert store.table_names("nobody") == []
 
 
+class TestByteBudget:
+    def _payload_bytes(self, matcher, table) -> int:
+        prepared = matcher.prepare(table)
+        return len(pickle.dumps(prepared, protocol=4))
+
+    def test_byte_budget_evicts_lru_first(self):
+        matcher = JaccardLevenshteinMatcher()
+        tables = [_table(f"t{i}", [f"v{i}"]) for i in range(4)]
+        one_payload = self._payload_bytes(matcher, tables[0])
+        # Budget for roughly two payloads: the third insert must evict.
+        with PreparedStore(max_bytes=int(one_payload * 2.5)) as store:
+            store.prepare(matcher, tables[0])
+            store.prepare(matcher, tables[1])
+            store.prepare(matcher, tables[0])  # refresh t0: t1 becomes LRU
+            store.prepare(matcher, tables[2])  # over budget -> evicts t1
+            names = store.table_names()
+            assert "t1" not in names and {"t0", "t2"} <= set(names)
+            assert store.total_bytes <= int(one_payload * 2.5)
+
+    def test_newest_row_survives_an_impossible_budget(self):
+        matcher = JaccardLevenshteinMatcher()
+        with PreparedStore(max_bytes=1) as store:
+            store.prepare(matcher, _table("a", ["x"]))
+            store.prepare(matcher, _table("b", ["y"]))
+            # Each insert evicts everything else but keeps itself.
+            assert store.table_names() == ["b"]
+            assert store.total_bytes > 1  # over budget by exactly one row
+
+    def test_entry_cap_remains_a_secondary_bound(self):
+        matcher = JaccardLevenshteinMatcher()
+        with PreparedStore(max_entries=2, max_bytes=10**9) as store:
+            for i in range(3):
+                store.prepare(matcher, _table(f"t{i}", [i]))
+            assert len(store) == 2  # byte budget is loose; entry cap bites
+
+    def test_rejects_nonpositive_byte_budget(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            PreparedStore(max_bytes=0)
+
+    def test_total_bytes_tracks_stored_payloads(self):
+        matcher = JaccardLevenshteinMatcher()
+        with PreparedStore() as store:
+            assert store.total_bytes == 0
+            store.prepare(matcher, _table("t", ["a"]))
+            assert store.total_bytes > 0
+            store.clear()
+            assert store.total_bytes == 0
+
+
+class TestBatchReads:
+    def _warm(self, store, matcher, tables):
+        for table in tables:
+            store.prepare(matcher, table)
+
+    def test_get_many_returns_only_matching_keys(self):
+        matcher = JaccardLevenshteinMatcher()
+        tables = [_table(f"t{i}", [f"v{i}"]) for i in range(3)]
+        with PreparedStore() as store:
+            self._warm(store, matcher, tables)
+            fingerprint = matcher.fingerprint()
+            keys = [(t.name, table_content_hash(t)) for t in tables]
+            hits_before = store.hits
+            found = store.get_many(fingerprint, keys + [("ghost", "nohash")])
+            assert sorted(found) == ["t0", "t1", "t2"]
+            assert store.hits == hits_before + 3
+            for table in tables:
+                assert found[table.name].payload == matcher.prepare(table).payload
+
+    def test_get_many_rejects_stale_content_hash(self):
+        matcher = JaccardLevenshteinMatcher()
+        table = _table("t", ["a"])
+        with PreparedStore() as store:
+            store.prepare(matcher, table)
+            found = store.get_many(matcher.fingerprint(), [("t", "different-hash")])
+            assert found == {}
+            # The stored row is another generation's, not corrupt: kept.
+            assert len(store) == 1
+
+    def test_get_many_discards_corrupt_rows(self):
+        matcher = JaccardLevenshteinMatcher()
+        table = _table("t", ["a"])
+        with PreparedStore() as store:
+            store.prepare(matcher, table)
+            store._connection.execute("UPDATE prepared SET payload = ?", (b"junk",))
+            store._connection.commit()
+            found = store.get_many(
+                matcher.fingerprint(), [("t", table_content_hash(table))]
+            )
+            assert found == {} and len(store) == 0
+
+    def test_get_many_records_recency(self):
+        matcher = JaccardLevenshteinMatcher()
+        tables = [_table(f"t{i}", [i]) for i in range(3)]
+        with PreparedStore(max_entries=2) as store:
+            store.prepare(matcher, tables[0])
+            store.prepare(matcher, tables[1])
+            # Batch-touch t0 so t1 is the LRU victim of the next insert.
+            store.get_many(
+                matcher.fingerprint(), [("t0", table_content_hash(tables[0]))]
+            )
+            store.prepare(matcher, tables[2])
+            assert "t1" not in store.table_names()
+
+    def test_get_many_spans_in_clause_chunks(self):
+        from repro.discovery import prepared as prepared_module
+
+        matcher = JaccardLevenshteinMatcher()
+        tables = [_table(f"t{i:03d}", [i]) for i in range(7)]
+        with PreparedStore() as store:
+            self._warm(store, matcher, tables)
+            keys = [(t.name, table_content_hash(t)) for t in tables]
+            original = prepared_module._MAX_IN_VARS
+            prepared_module._MAX_IN_VARS = 3  # force several IN(...) chunks
+            try:
+                found = store.get_many(matcher.fingerprint(), keys)
+            finally:
+                prepared_module._MAX_IN_VARS = original
+            assert len(found) == 7
+
+    def test_contains_many(self):
+        matcher = JaccardLevenshteinMatcher()
+        tables = [_table(f"t{i}", [i]) for i in range(2)]
+        with PreparedStore() as store:
+            self._warm(store, matcher, tables)
+            fingerprint = matcher.fingerprint()
+            keys = [(t.name, table_content_hash(t)) for t in tables]
+            assert store.contains_many(fingerprint, keys) == {"t0", "t1"}
+            assert store.contains_many(fingerprint, [("t0", "wrong-hash")]) == set()
+            assert store.contains_many("nobody", keys) == set()
+
+    def test_get_raw_returns_undecoded_payload(self):
+        matcher = JaccardLevenshteinMatcher()
+        table = _table("t", ["a"])
+        with PreparedStore() as store:
+            prepared = store.prepare(matcher, table)
+            blob = store.get_raw(
+                matcher.fingerprint(), "t", table_content_hash(table)
+            )
+            assert blob is not None
+            decoded = pickle.loads(blob)
+            assert decoded.payload == prepared.payload
+            assert store.get_raw("nobody", "t", "nohash") is None
+
+    def test_get_raw_refuses_foreign_payload_format(self):
+        matcher = JaccardLevenshteinMatcher()
+        table = _table("t", ["a"])
+        with PreparedStore() as store:
+            store.prepare(matcher, table)
+            store._connection.execute(
+                "UPDATE prepared SET payload_format = ?", (PREPARED_PAYLOAD_FORMAT + 1,)
+            )
+            store._connection.commit()
+            assert (
+                store.get_raw(matcher.fingerprint(), "t", table_content_hash(table))
+                is None
+            )
+
+
+class TestRecencyDurability:
+    def test_batched_touches_survive_close(self, tmp_path):
+        """Regression: warm-hit recency deferred in ``_pending_touches`` must
+        be flushed by ``close()``/``__exit__`` — otherwise the LRU order seen
+        after a restart victimises recently served rows."""
+        path = tmp_path / "lake.sketches.prepared"
+        matcher = JaccardLevenshteinMatcher()
+        tables = [_table(f"t{i}", [i]) for i in range(3)]
+        with PreparedStore(path, max_entries=2) as store:
+            store.prepare(matcher, tables[0])
+            store.prepare(matcher, tables[1])
+            # A warm hit with NO subsequent write: recency only lives in the
+            # deferred batch when the store closes.
+            assert store.prepare(matcher, tables[0]) is not None
+            assert store._pending_touches  # still unflushed at this point
+        with PreparedStore(path, max_entries=2) as reopened:
+            reopened.prepare(matcher, tables[2])  # evicts the true LRU: t1
+            names = reopened.table_names()
+            assert "t0" in names and "t1" not in names
+
+    def test_read_only_store_serves_without_writing(self, tmp_path):
+        path = tmp_path / "p.prepared"
+        matcher = JaccardLevenshteinMatcher()
+        table = _table("t", ["a", "b"])
+        with PreparedStore(path) as store:
+            expected = store.prepare(matcher, table)
+        with PreparedStore(path, read_only=True) as reader:
+            loaded = reader.get(
+                matcher.fingerprint(), table.name, table_content_hash(table)
+            )
+            assert loaded is not None and loaded.payload == expected.payload
+            assert not reader._pending_touches  # recency is dropped, not queued
+            found = reader.get_many(
+                matcher.fingerprint(), [(table.name, table_content_hash(table))]
+            )
+            assert set(found) == {table.name}
+
+    def test_read_only_refuses_missing_store(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot open"):
+            PreparedStore(tmp_path / "absent.prepared", read_only=True)
+
+    def test_use_after_close_raises(self, tmp_path):
+        """close() must make the store unusable — not silently reopen a
+        fresh (and leaked) connection through the per-PID lookup."""
+        import sqlite3
+
+        matcher = JaccardLevenshteinMatcher()
+        store = PreparedStore(tmp_path / "p.prepared")
+        store.prepare(matcher, _table("t", ["a"]))
+        store.close()
+        with pytest.raises(sqlite3.ProgrammingError, match="closed"):
+            store.get(matcher.fingerprint(), "t", "whatever")
+        store.close()  # idempotent
+
+    def test_in_memory_store_refuses_cross_process_use(self):
+        store = PreparedStore()
+        try:
+            # Simulate the other side of a fork: no connection for this PID.
+            store._connections.clear()
+            with pytest.raises(RuntimeError, match="in-memory"):
+                store._ensure_connection()
+        finally:
+            store._connections.clear()  # nothing left to close
+
+
 class TestCacheChaining:
     def test_memory_cache_fronts_the_store(self):
         """PreparedTableCache(backing=store): a cache miss falls through to

@@ -115,3 +115,38 @@ class TestCacheAwareRunner:
         assert all(
             "prepare_cache_hit_rate" not in record.extra_metrics for record in results
         )
+
+
+class TestPooledRunner:
+    def test_pooled_sweep_matches_serial_records(
+        self, small_grids, unionable_pair, noisy_unionable_pair
+    ):
+        """A RerankPool-backed sweep must produce the same records, in the
+        same order, as the serial loop (runtimes aside)."""
+        from repro.discovery.search import RerankPool
+
+        pairs = [unionable_pair, noisy_unionable_pair]
+        serial = ExperimentRunner(grids=small_grids).run_all(pairs)
+        with RerankPool(max_workers=2) as pool:
+            pooled_runner = ExperimentRunner(grids=small_grids, rerank_pool=pool)
+            pooled = pooled_runner.run_all(pairs)
+            assert pool.spawn_count == 1  # one pool serves the whole sweep
+        key = lambda r: (
+            r.method,
+            r.pair_name,
+            tuple(sorted(r.parameters.items())),
+            r.recall_at_ground_truth,
+        )
+        assert [key(r) for r in pooled.records] == [key(r) for r in serial.records]
+
+    def test_pooled_progress_callback_invoked(self, small_grids, unionable_pair):
+        from repro.discovery.search import RerankPool
+
+        messages = []
+        with RerankPool(max_workers=2) as pool:
+            runner = ExperimentRunner(
+                grids=small_grids, progress_callback=messages.append, rerank_pool=pool
+            )
+            runner.run_all([unionable_pair], methods=["JaccardLevenshtein"])
+        assert len(messages) == 2  # one per configuration x pair
+        assert all("recall@GT" in message for message in messages)

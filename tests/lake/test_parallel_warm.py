@@ -1,0 +1,236 @@
+"""The fully parallel warm path: worker-side payload loading + RerankPool.
+
+Contracts under test:
+
+* parallel-warm rankings are identical to serial-warm for **every**
+  registered matcher (the workers resolve candidates themselves, so any
+  divergence would mean the worker-side load changed the payloads);
+* a warm ``parallel=True`` query reads **zero** candidate CSVs (proved by
+  deleting them) and re-prepares nothing (every candidate is a store hit);
+* the engine's persistent :class:`RerankPool` is spawned once and reused
+  across queries (and across engines when shared explicitly);
+* cold candidates hit in a worker are written through, warming the store
+  for the next (serial or parallel) query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.csv_io import write_csv
+from repro.datasets import tpcdi_prospect_table
+from repro.discovery.prepared import PreparedStore
+from repro.discovery.search import RerankPool
+from repro.lake import LakeDiscoveryEngine, SketchStore, build_from_paths, prepare_lake
+from repro.matchers.jaccard_levenshtein import JaccardLevenshteinMatcher
+from repro.matchers.registry import available_matchers, create_matcher
+
+#: One lightweight configuration per registered matcher (mirrors the
+#: prepared-store round-trip test) so the full-coverage equality test stays
+#: seconds-scale.
+_LIGHT_CONFIGS: dict[str, dict[str, object]] = {
+    "embdi": {
+        "dimensions": 16,
+        "sentence_length": 8,
+        "walks_per_node": 2,
+        "epochs": 1,
+        "max_rows": 6,
+    },
+    "semprop": {"num_permutations": 32, "sample_size": 50},
+    "comainstance": {"sample_size": 50},
+    "distributionbased": {"sample_size": 50},
+    "jaccardlevenshtein": {"sample_size": 20},
+}
+
+_NUM_TABLES = 5
+
+
+def _ranking(results):
+    return [(r.table_name, r.joinability, r.unionability) for r in results]
+
+
+@pytest.fixture(scope="module")
+def warm_lake(tmp_path_factory):
+    """A small file-backed lake: built sketch store + CSVs on disk."""
+    tmp_path = tmp_path_factory.mktemp("parallel_warm")
+    lake_dir = tmp_path / "lake"
+    lake_dir.mkdir()
+    for i in range(_NUM_TABLES):
+        table = tpcdi_prospect_table(num_rows=18, seed=30 + i).rename(f"table_{i}")
+        write_csv(table, lake_dir / f"{table.name}.csv")
+    csv_paths = sorted(lake_dir.glob("*.csv"))
+    store = SketchStore(tmp_path / "lake.sketches")
+    build_from_paths(store, csv_paths)
+    query = tpcdi_prospect_table(num_rows=18, seed=99).rename("query_table")
+    yield store, tmp_path / "lake.sketches.prepared", query, csv_paths
+    store.close()
+
+
+class TestParallelWarmEquality:
+    def test_parallel_equals_serial_for_every_matcher(self, warm_lake):
+        """Serial-warm and parallel-warm rankings must be identical for all
+        eight registered matchers; one shared RerankPool serves them all."""
+        store, prepared_path, query, _ = warm_lake
+        with RerankPool(max_workers=2) as pool:
+            for name in sorted(available_matchers()):
+                matcher = create_matcher(name, **_LIGHT_CONFIGS.get(name, {}))
+                with PreparedStore(prepared_path) as prepared_store:
+                    prepare_lake(store, prepared_store, matcher)
+                    serial_engine = LakeDiscoveryEngine(
+                        matcher=matcher, store=store, prepared_store=prepared_store
+                    )
+                    serial = serial_engine.query(query, mode="unionable")
+                    parallel_engine = LakeDiscoveryEngine(
+                        matcher=matcher,
+                        store=store,
+                        prepared_store=prepared_store,
+                        rerank_pool=pool,
+                    )
+                    parallel = parallel_engine.query(
+                        query, mode="unionable", parallel=True, max_workers=2
+                    )
+                    assert _ranking(parallel) == _ranking(serial), (
+                        f"{name}: parallel-warm ranking diverged from serial-warm"
+                    )
+                    assert (
+                        parallel_engine.last_store_hits
+                        == parallel_engine.last_rerank_count
+                        == _NUM_TABLES
+                    ), f"{name}: parallel-warm query re-prepared a candidate"
+            assert pool.spawn_count == 1  # 8 matchers, one warm pool
+
+
+class TestZeroCsvReads:
+    def test_parallel_warm_query_opens_no_csvs(self, tmp_path):
+        """Delete every candidate CSV after pre-warming: a parallel query
+        must still answer (workers resolve purely from the stores), and its
+        ranking must match the serial-warm answer recorded beforehand."""
+        lake_dir = tmp_path / "lake"
+        lake_dir.mkdir()
+        for i in range(4):
+            table = tpcdi_prospect_table(num_rows=16, seed=40 + i).rename(f"t{i}")
+            write_csv(table, lake_dir / f"{table.name}.csv")
+        csv_paths = sorted(lake_dir.glob("*.csv"))
+        matcher = JaccardLevenshteinMatcher()
+        query = tpcdi_prospect_table(num_rows=16, seed=98).rename("query")
+        with SketchStore(tmp_path / "lake.sketches") as store:
+            build_from_paths(store, csv_paths)
+            with PreparedStore(tmp_path / "lake.sketches.prepared") as prepared_store:
+                prepare_lake(store, prepared_store, matcher)
+                with LakeDiscoveryEngine(
+                    matcher=matcher, store=store, prepared_store=prepared_store
+                ) as engine:
+                    serial = engine.query(query, top_k=3)
+                    for path in csv_paths:
+                        path.unlink()  # any CSV open would now fail loudly
+                    parallel = engine.query(
+                        query, top_k=3, parallel=True, max_workers=2
+                    )
+                    assert _ranking(parallel) == _ranking(serial)
+                    assert engine.last_store_hits == engine.last_rerank_count == 4
+
+
+class TestSingleCandidateShortlist:
+    def test_parallel_warm_with_one_candidate_stays_warm(self, tmp_path):
+        """Regression: a shortlist of one candidate cannot fan out, so the
+        rerank falls back to the serial resolver — which must still serve
+        the prepared payload (not lose it because the worker path was
+        half-armed and the prefetch skipped)."""
+        lake_dir = tmp_path / "lake"
+        lake_dir.mkdir()
+        table = tpcdi_prospect_table(num_rows=16, seed=55).rename("only")
+        only_csv = write_csv(table, lake_dir / "only.csv")
+        matcher = JaccardLevenshteinMatcher()
+        query = tpcdi_prospect_table(num_rows=16, seed=95).rename("query")
+        with SketchStore(tmp_path / "lake.sketches") as store:
+            build_from_paths(store, [only_csv])
+            with PreparedStore(tmp_path / "lake.sketches.prepared") as prepared_store:
+                prepare_lake(store, prepared_store, matcher)
+                only_csv.unlink()  # any CSV fallback would fail loudly
+                with LakeDiscoveryEngine(
+                    matcher=matcher, store=store, prepared_store=prepared_store
+                ) as engine:
+                    results = engine.query(query, parallel=True, max_workers=2)
+                    assert [r.table_name for r in results] == ["only"]
+                    assert engine.last_store_hits == engine.last_rerank_count == 1
+
+
+class TestRerankPoolLifecycle:
+    def test_engine_reuses_its_lazily_created_pool(self, tmp_path):
+        lake_dir = tmp_path / "lake"
+        lake_dir.mkdir()
+        for i in range(3):
+            table = tpcdi_prospect_table(num_rows=14, seed=60 + i).rename(f"t{i}")
+            write_csv(table, lake_dir / f"t{i}.csv")
+        matcher = JaccardLevenshteinMatcher()
+        query = tpcdi_prospect_table(num_rows=14, seed=97).rename("query")
+        with SketchStore(tmp_path / "lake.sketches") as store:
+            build_from_paths(store, sorted(lake_dir.glob("*.csv")))
+            with PreparedStore(tmp_path / "lake.sketches.prepared") as prepared_store:
+                prepare_lake(store, prepared_store, matcher)
+                engine = LakeDiscoveryEngine(
+                    matcher=matcher, store=store, prepared_store=prepared_store
+                )
+                assert engine.rerank_pool is None
+                first = engine.query(query, parallel=True, max_workers=2)
+                pool = engine.rerank_pool
+                assert pool is not None and pool.spawn_count == 1
+                second = engine.query(query, parallel=True, max_workers=2)
+                assert engine.rerank_pool is pool and pool.spawn_count == 1
+                assert _ranking(first) == _ranking(second)
+                engine.close()
+                assert engine.rerank_pool is None
+
+    def test_engine_does_not_close_a_shared_pool(self, tmp_path):
+        with RerankPool(max_workers=2) as pool:
+            store = SketchStore(tmp_path / "lake.sketches")
+            engine = LakeDiscoveryEngine(
+                matcher=JaccardLevenshteinMatcher(), store=store, rerank_pool=pool
+            )
+            engine.close()
+            assert engine.rerank_pool is pool  # left running for other owners
+            assert pool.map(len, [[1, 2], [3]]) == [2, 1]  # still serves
+            store.close()
+
+    def test_pool_heals_after_worker_death(self):
+        with RerankPool(max_workers=2) as pool:
+            assert pool.map(len, [[1], [2, 3]]) == [1, 2]
+            # Kill the warm workers behind the pool's back.
+            executor = pool._executor
+            for process in executor._processes.values():
+                process.terminate()
+            assert pool.map(len, [[1, 2, 3]]) == [3]
+            assert pool.spawn_count == 2  # healed with one respawn
+
+
+class TestWorkerWriteThrough:
+    def test_cold_parallel_query_warms_the_store(self, tmp_path):
+        """No pre-warming: workers read CSVs, prepare, and write through —
+        the next serial query must be fully warm."""
+        lake_dir = tmp_path / "lake"
+        lake_dir.mkdir()
+        for i in range(4):
+            table = tpcdi_prospect_table(num_rows=16, seed=80 + i).rename(f"t{i}")
+            write_csv(table, lake_dir / f"t{i}.csv")
+        matcher = JaccardLevenshteinMatcher()
+        query = tpcdi_prospect_table(num_rows=16, seed=96).rename("query")
+        with SketchStore(tmp_path / "lake.sketches") as store:
+            build_from_paths(store, sorted(lake_dir.glob("*.csv")))
+            with PreparedStore(tmp_path / "lake.sketches.prepared") as prepared_store:
+                with LakeDiscoveryEngine(
+                    matcher=matcher, store=store, prepared_store=prepared_store
+                ) as engine:
+                    cold = engine.query(query, parallel=True, max_workers=2)
+                    assert engine.last_store_hits == 0  # genuinely cold
+                    # Workers wrote all four candidates through (the fifth
+                    # row is the query itself, via the prepared provider).
+                    assert set(prepared_store.table_names()) == {
+                        "t0",
+                        "t1",
+                        "t2",
+                        "t3",
+                        "query",
+                    }
+                    warm = engine.query(query)  # serial, same engine
+                    assert engine.last_store_hits == engine.last_rerank_count == 4
+                    assert _ranking(warm) == _ranking(cold)

@@ -172,6 +172,38 @@ class TestCommands:
         )
         assert "served from the prepared store" not in capsys.readouterr().out
 
+    def test_lake_prepare_max_store_mb_bounds_the_store(self, tmp_path, capsys):
+        """--max-store-mb sets the byte budget: a tiny budget leaves only the
+        most recently prepared payload behind."""
+        from repro.discovery.prepared import PreparedStore
+
+        lake_dir = tmp_path / "lake"
+        lake_dir.mkdir()
+        write_csv(Table("alpha", {"a": ["x", "y", "z"]}), lake_dir / "alpha.csv")
+        write_csv(Table("beta", {"b": ["p", "q", "r"]}), lake_dir / "beta.csv")
+        store = tmp_path / "lake.sketches"
+        assert main(["lake", "build", str(lake_dir), "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "lake",
+                    "prepare",
+                    "JaccardLevenshtein",
+                    "--store",
+                    str(store),
+                    "--max-store-mb",
+                    "0.0005",  # ~524 bytes: far below two payloads
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 tables prepared" in out
+        assert "byte budget 0.0005 MiB" in out
+        with PreparedStore(store.parent / (store.name + ".prepared")) as prepared:
+            assert len(prepared) == 1  # LRU-evicted down to the newest row
+
     def test_lake_prepare_requires_store(self, tmp_path, capsys):
         missing = tmp_path / "nope.sketches"
         assert main(["lake", "prepare", "JaccardLevenshtein", "--store", str(missing)]) == 1
