@@ -1,0 +1,267 @@
+"""Telemetry overhead benchmark: the disabled path must cost ~nothing.
+
+PR 6 instruments every layer of the discovery pipeline (LSH probing, store
+lookups, rerank stages) with spans and counters that default to a no-op
+recorder.  This benchmark proves the central claim — **instrumentation left
+in the hot path costs < ``MAX_DISABLED_OVERHEAD`` of a warm rerank when
+telemetry is off** — and records the first per-stage latency breakdown of
+the warm query while it is at it:
+
+1. **Disabled-mode timing** — ``REPEAT_QUERIES`` fully warm serial queries
+   (every candidate served from the prepared store) under the default
+   :data:`~repro.telemetry.NULL_RECORDER`.
+2. **Enabled-mode timing** — the same queries under a real
+   :class:`~repro.telemetry.TelemetryRecorder`; the delta is reported (not
+   asserted — it includes genuine recording work and timer noise).
+3. **Instrumentation census** — the module-level ``span``/``count``/
+   ``observe`` entry points are wrapped to count exactly how many times one
+   warm query calls each.  Multiplying by the measured per-call cost of the
+   *null* primitives gives a deterministic estimate of the disabled-mode
+   overhead, asserted ``< MAX_DISABLED_OVERHEAD`` — this is robust where a
+   direct disabled-vs-uninstrumented comparison would drown in noise (there
+   is no uninstrumented build to compare against).
+4. **Per-stage breakdown** — the enabled run's duration histograms
+   (p50/p95/p99 per stage) land in the JSON report.
+
+Results are printed AND written to ``BENCH_PR6.json`` at the repository
+root.  Set ``BENCH_PR6_SMOKE=1`` for a seconds-scale smoke run (used by
+CI); the census-based overhead bound holds there too, since it is
+deterministic per query, not load-dependent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_report
+from repro.data.csv_io import write_csv
+from repro.datasets import tpcdi_prospect_table
+from repro.discovery.prepared import PreparedStore
+from repro.lake import LakeDiscoveryEngine, SketchStore, build_from_paths, prepare_lake
+from repro.matchers.semprop import SemPropMatcher
+from repro.telemetry import TelemetryRecorder, use
+from repro.telemetry import recorder as telemetry_recorder
+
+SMOKE = os.environ.get("BENCH_PR6_SMOKE", "") not in ("", "0")
+
+NUM_CANDIDATES = 24 if SMOKE else 200
+CANDIDATE_ROWS = 60 if SMOKE else 600
+QUERY_ROWS = 200 if SMOKE else 1500
+REPEAT_QUERIES = 3 if SMOKE else 5
+WORKERS = max(2, min(4, os.cpu_count() or 1))
+#: The tentpole bound: estimated cost of the no-op instrumentation on one
+#: warm query, as a fraction of that query's wall clock.
+MAX_DISABLED_OVERHEAD = 0.02
+
+_OUTPUT_PATH = Path(__file__).parent.parent / "BENCH_PR6.json"
+
+
+def _null_primitive_costs() -> dict[str, float]:
+    """Per-call seconds of the module-level primitives with the null recorder."""
+    loops = 200_000
+    started = time.perf_counter()
+    for _ in range(loops):
+        telemetry_recorder.count("bench.counter", 1)
+    count_cost = (time.perf_counter() - started) / loops
+    started = time.perf_counter()
+    for _ in range(loops):
+        telemetry_recorder.observe("bench.duration", 0.0)
+    observe_cost = (time.perf_counter() - started) / loops
+    started = time.perf_counter()
+    for _ in range(loops):
+        with telemetry_recorder.span("bench.span", table="t"):
+            pass
+    span_cost = (time.perf_counter() - started) / loops
+    return {"span": span_cost, "count": count_cost, "observe": observe_cost}
+
+
+def _census_one_query(engine, query) -> dict[str, int]:
+    """Count how many span/count/observe calls one warm query issues.
+
+    Wraps the module-level entry points in :mod:`repro.telemetry.recorder`
+    (every instrumented module calls through them), runs one query with the
+    recorder still disabled, and restores the originals.
+    """
+    calls = {"span": 0, "count": 0, "observe": 0}
+    original_span = telemetry_recorder.span
+    original_count = telemetry_recorder.count
+    original_observe = telemetry_recorder.observe
+
+    def census_span(name, **attrs):
+        calls["span"] += 1
+        return original_span(name, **attrs)
+
+    def census_count(name, value=1):
+        calls["count"] += 1
+        original_count(name, value)
+
+    def census_observe(name, seconds):
+        calls["observe"] += 1
+        original_observe(name, seconds)
+
+    telemetry_recorder.span = census_span
+    telemetry_recorder.count = census_count
+    telemetry_recorder.observe = census_observe
+    try:
+        engine.query(query, top_k=10)
+    finally:
+        telemetry_recorder.span = original_span
+        telemetry_recorder.count = original_count
+        telemetry_recorder.observe = original_observe
+    return calls
+
+
+def _bench(workdir: Path) -> dict[str, object]:
+    lake_dir = workdir / "lake"
+    lake_dir.mkdir()
+    for i in range(NUM_CANDIDATES):
+        table = tpcdi_prospect_table(num_rows=CANDIDATE_ROWS, seed=300 + i)
+        write_csv(table.rename(f"candidate_{i:03d}"), lake_dir / f"candidate_{i:03d}.csv")
+    csv_paths = sorted(lake_dir.glob("*.csv"))
+
+    matcher = SemPropMatcher()
+    query = tpcdi_prospect_table(num_rows=QUERY_ROWS, seed=2).rename("query_prospects")
+    # Warm shared singletons so neither mode pays one-off initialisation.
+    matcher.get_matches(
+        tpcdi_prospect_table(num_rows=5, seed=8),
+        tpcdi_prospect_table(num_rows=5, seed=9),
+    )
+
+    store = SketchStore(workdir / "lake.sketches")
+    build_from_paths(store, csv_paths, workers=WORKERS)
+    prepared_store = PreparedStore(workdir / "lake.sketches.prepared")
+    prepare_lake(store, prepared_store, matcher, workers=WORKERS)
+
+    engine = LakeDiscoveryEngine(
+        matcher=matcher,
+        store=store,
+        prepared_store=prepared_store,
+        min_candidates=NUM_CANDIDATES,
+        candidate_multiplier=NUM_CANDIDATES,
+    )
+    with engine:
+        # Warm-up: writes the query's own payload through, touches caches.
+        engine.query(query, top_k=10)
+        assert engine.last_store_hits == engine.last_rerank_count == NUM_CANDIDATES, (
+            "warm-up query did not serve every candidate from the store"
+        )
+
+        disabled_seconds = []
+        for _ in range(REPEAT_QUERIES):
+            started = time.perf_counter()
+            engine.query(query, top_k=10)
+            disabled_seconds.append(time.perf_counter() - started)
+        enabled_recorder = TelemetryRecorder()
+        enabled_seconds = []
+        with use(enabled_recorder):
+            for _ in range(REPEAT_QUERIES):
+                started = time.perf_counter()
+                engine.query(query, top_k=10)
+                enabled_seconds.append(time.perf_counter() - started)
+        enabled_stats = engine.last_query_stats
+        assert enabled_stats is not None and enabled_stats.snapshot is not None
+
+        calls = _census_one_query(engine, query)
+    store.close()
+    prepared_store.close()
+
+    costs = _null_primitive_costs()
+    disabled_mean = sum(disabled_seconds) / len(disabled_seconds)
+    enabled_mean = sum(enabled_seconds) / len(enabled_seconds)
+    overhead_seconds = (
+        calls["span"] * costs["span"]
+        + calls["count"] * costs["count"]
+        + calls["observe"] * costs["observe"]
+    )
+    disabled_overhead = overhead_seconds / disabled_mean
+
+    snapshot = enabled_stats.snapshot
+    stages = {}
+    for name in sorted(snapshot.durations):
+        summary = snapshot.duration_summary(name)
+        stages[name] = {
+            "count": int(summary["count"]),
+            "total_ms": round(summary["total"] * 1e3, 3),
+            "p50_ms": round(summary["p50"] * 1e3, 3),
+            "p95_ms": round(summary["p95"] * 1e3, 3),
+            "p99_ms": round(summary["p99"] * 1e3, 3),
+        }
+    return {
+        "matcher": "SemProp",
+        "candidates_reranked": NUM_CANDIDATES,
+        "query_rows": QUERY_ROWS,
+        "candidate_rows": CANDIDATE_ROWS,
+        "repeat_queries": REPEAT_QUERIES,
+        "cpu_count": os.cpu_count(),
+        "disabled_mean_seconds": round(disabled_mean, 4),
+        "enabled_mean_seconds": round(enabled_mean, 4),
+        "enabled_over_disabled_ratio": round(enabled_mean / disabled_mean, 4),
+        "instrumentation_calls_per_query": calls,
+        "null_primitive_cost_ns": {
+            name: round(cost * 1e9, 1) for name, cost in costs.items()
+        },
+        "disabled_overhead_seconds": round(overhead_seconds, 6),
+        "disabled_overhead_fraction": round(disabled_overhead, 6),
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "per_stage_latency": stages,
+        "counters_last_enabled_query": dict(
+            sorted(enabled_stats.counters.items())
+        ),
+    }
+
+
+def test_telemetry_overhead_benchmark():
+    workdir = Path(tempfile.mkdtemp(prefix="bench_pr6_"))
+    try:
+        stats = _bench(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    payload = {
+        "benchmark": "bench_telemetry_overhead",
+        "smoke": SMOKE,
+        "telemetry_overhead": stats,
+    }
+    _OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    calls = stats["instrumentation_calls_per_query"]
+    top_stages = sorted(
+        stats["per_stage_latency"].items(),
+        key=lambda item: -item[1]["total_ms"],
+    )[:5]
+    stage_lines = [
+        f"  {name:<28s} n={summary['count']:<5d} total={summary['total_ms']:8.1f} ms  "
+        f"p50={summary['p50_ms']:7.2f}  p95={summary['p95_ms']:7.2f}"
+        for name, summary in top_stages
+    ]
+    lines = [
+        f"workload:        {NUM_CANDIDATES} warm candidates x {CANDIDATE_ROWS} rows, "
+        f"query {QUERY_ROWS} rows (cpus={stats['cpu_count']}, smoke={SMOKE})",
+        f"disabled mode:   {stats['disabled_mean_seconds']:8.3f} s / query "
+        f"(mean of {REPEAT_QUERIES}) — default no-op recorder",
+        f"enabled mode:    {stats['enabled_mean_seconds']:8.3f} s / query "
+        f"({stats['enabled_over_disabled_ratio']:.3f}x disabled)",
+        f"instrumentation: {calls['span']} spans + {calls['count']} counts + "
+        f"{calls['observe']} observes per query",
+        f"disabled cost:   {stats['disabled_overhead_seconds'] * 1e6:8.1f} µs "
+        f"= {stats['disabled_overhead_fraction']:.4%} of the query "
+        f"(bound: {MAX_DISABLED_OVERHEAD:.0%})",
+        "hottest stages (enabled run):",
+        *stage_lines,
+        f"written to       {_OUTPUT_PATH.name}",
+    ]
+    print_report(
+        "Telemetry overhead — no-op recorder on the warm rerank path (PR 6)",
+        "\n".join(lines),
+    )
+
+    assert stats["disabled_overhead_fraction"] < MAX_DISABLED_OVERHEAD, (
+        f"no-op instrumentation estimated at "
+        f"{stats['disabled_overhead_fraction']:.4%} of a warm query "
+        f"(>= {MAX_DISABLED_OVERHEAD:.0%}): {stats}"
+    )

@@ -24,8 +24,10 @@ Quickstart
 1.0
 """
 
+import logging as _logging
+
 from repro import data, datasets, discovery, distributions, embeddings, experiments, fabrication
-from repro import graphmodel, matchers, metrics, ontology, optimize, sketches, text, tuning
+from repro import graphmodel, matchers, metrics, ontology, optimize, sketches, telemetry, text, tuning
 from repro.data import Column, ColumnRef, DataType, Table
 from repro.experiments import (
     ExperimentRunner,
@@ -53,6 +55,12 @@ from repro.matchers import (
 from repro.tuning import AutoTuner
 from repro.metrics import precision_at_k, recall_at_ground_truth
 
+# Library convention: the package never configures logging for its host
+# application.  Attach a NullHandler at the root of the `repro.*` hierarchy
+# so instrumented modules can log freely without "no handler" warnings; the
+# CLI (and any embedding application) opts into real handlers explicitly.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -71,6 +79,7 @@ __all__ = [
     "ontology",
     "optimize",
     "sketches",
+    "telemetry",
     "text",
     "tuning",
     # core data model

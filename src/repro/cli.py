@@ -10,15 +10,22 @@ Subcommands:
   Figure 4–6 style summaries;
 * ``match`` — match two CSV files with a chosen method and print the ranked
   matches;
-* ``lake build`` / ``lake prepare`` / ``lake query`` — maintain a
-  persistent column-sketch store over a directory of CSV files (optionally
-  sketching in a process pool), pre-warm the prepared-candidate store for a
-  matcher, and run index-accelerated discovery queries against it.
+* ``lake build`` / ``lake prepare`` / ``lake query`` / ``lake stats`` —
+  maintain a persistent column-sketch store over a directory of CSV files
+  (optionally sketching in a process pool), pre-warm the prepared-candidate
+  store for a matcher, run index-accelerated discovery queries against it,
+  and inspect store-level statistics.
+
+Observability flags: ``-v/--verbose`` turns on logging for the lake and
+discovery paths (``-vv`` for everything); ``lake query --stats`` prints a
+per-stage latency/counter summary, and ``lake query --trace-json PATH``
+writes a Chrome trace-event file loadable in chrome://tracing or Perfetto.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
@@ -48,6 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="valentine-repro",
         description="Valentine reproduction: schema matching experiments for dataset discovery",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="enable logging: -v for DEBUG on the lake/discovery paths, "
+        "-vv for DEBUG everywhere",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -151,8 +166,56 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the prepared-candidate store (the PR 3 cold path)",
     )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stage latencies (p50/p95/p99) and pipeline counters "
+        "for this query",
+    )
+    query.add_argument(
+        "--trace-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the query's spans as a Chrome trace-event JSON file "
+        "(open in chrome://tracing or https://ui.perfetto.dev)",
+    )
+
+    stats = lake_commands.add_parser(
+        "stats",
+        help="print store-level statistics (row counts, bytes, hit rates)",
+    )
+    stats.add_argument("--store", type=Path, default=Path("lake.sketches"), help="store path")
+    stats.add_argument(
+        "--prepared-store",
+        type=Path,
+        default=None,
+        help="prepared-candidate store path (default: <store>.prepared)",
+    )
 
     return parser
+
+
+def _configure_logging(verbose: int) -> None:
+    """Wire stderr logging for the ``repro`` hierarchy per ``-v`` count.
+
+    The library itself only attaches a ``NullHandler``; this is the CLI's
+    opt-in.  One ``-v`` debugs the discovery pipeline (``repro.lake``,
+    ``repro.discovery``) and keeps the rest at INFO; ``-vv`` debugs the
+    whole ``repro.*`` tree.
+    """
+    if verbose <= 0:
+        return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    if verbose == 1:
+        root.setLevel(logging.INFO)
+        logging.getLogger("repro.lake").setLevel(logging.DEBUG)
+        logging.getLogger("repro.discovery").setLevel(logging.DEBUG)
+    else:
+        root.setLevel(logging.DEBUG)
 
 
 def _command_coverage() -> int:
@@ -303,9 +366,12 @@ def _command_lake_query(
     workers: int | None,
     prepared_path: Path | None,
     no_prepared_store: bool,
+    show_stats: bool = False,
+    trace_json: Path | None = None,
 ) -> int:
     from repro.discovery.prepared import PreparedStore
     from repro.lake import LakeDiscoveryEngine, SketchStore
+    from repro.telemetry import TelemetryRecorder, use, write_chrome_trace
 
     if not store_path.exists():
         print(f"no sketch store at {store_path}; run `lake build` first", file=sys.stderr)
@@ -340,20 +406,34 @@ def _command_lake_query(
         with LakeDiscoveryEngine(
             matcher=create_matcher(method), store=store, prepared_store=prepared_store
         ) as engine:
-            results = engine.query(
-                query,
-                mode=mode,
-                top_k=top,
-                parallel=parallel or workers is not None,
-                max_workers=workers,
-            )
+            # --stats / --trace-json need counters and spans: activate a
+            # real recorder for the query.  Without them the default no-op
+            # recorder stays in place and instrumentation costs ~nothing.
+            if show_stats or trace_json is not None:
+                with use(TelemetryRecorder()):
+                    results = engine.query(
+                        query,
+                        mode=mode,
+                        top_k=top,
+                        parallel=parallel or workers is not None,
+                        max_workers=workers,
+                    )
+            else:
+                results = engine.query(
+                    query,
+                    mode=mode,
+                    top_k=top,
+                    parallel=parallel or workers is not None,
+                    max_workers=workers,
+                )
+        stats = engine.last_query_stats
         warm_note = ""
         if prepared_store is not None:
-            warm_note = f", {engine.last_store_hits} served from the prepared store"
+            warm_note = f", {stats.store_hits} served from the prepared store"
             prepared_store.close()
         print(
             f"query {query.name!r} against {len(store)} tables "
-            f"({engine.last_rerank_count} candidates reranked with {method}{warm_note})"
+            f"({stats.rerank_count} candidates reranked with {method}{warm_note})"
         )
     for result in results:
         best = result.scores.best_pair
@@ -362,6 +442,58 @@ def _command_lake_query(
             f"join={result.joinability:.3f} union={result.unionability:.3f}  "
             f"{result.table_name}{best_text}"
         )
+    if show_stats:
+        print()
+        print(stats.format_summary())
+    if trace_json is not None and stats.snapshot is not None:
+        write_chrome_trace(stats.snapshot, trace_json)
+        print(f"trace written to {trace_json} (open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def _command_lake_stats(store_path: Path, prepared_path: Path | None) -> int:
+    from repro.discovery.prepared import PreparedStore
+    from repro.lake import SketchStore
+
+    if not store_path.exists():
+        print(f"no sketch store at {store_path}; run `lake build` first", file=sys.stderr)
+        return 1
+    try:
+        store = SketchStore(store_path)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    with store:
+        sketch_stats = store.stats()
+    size = store_path.stat().st_size
+    print(f"sketch store {store_path} ({size / 1024:.1f} KiB)")
+    print(f"  tables:           {sketch_stats['tables']}")
+    print(f"  columns:          {sketch_stats['columns']}")
+    print(f"  total table rows: {sketch_stats['total_table_rows']}")
+    print(f"  store version:    {sketch_stats['version']}")
+    resolved_prepared = prepared_path or _default_prepared_store_path(store_path)
+    if not resolved_prepared.exists():
+        print(f"no prepared store at {resolved_prepared}")
+        return 0
+    try:
+        prepared_store = PreparedStore(resolved_prepared)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    with prepared_store:
+        prepared_stats = prepared_store.stats()
+    size = resolved_prepared.stat().st_size
+    print(f"prepared store {resolved_prepared} ({size / 1024:.1f} KiB)")
+    print(f"  rows:             {prepared_stats['rows']}")
+    print(f"  payload bytes:    {prepared_stats['total_payload_bytes']}")
+    print(f"  entry cap:        {prepared_stats['max_entries']}")
+    budget = prepared_stats["max_bytes"]
+    print(f"  byte budget:      {budget if budget is not None else 'none'}")
+    for fingerprint, per in sorted(prepared_stats["per_fingerprint"].items()):
+        print(
+            f"  matcher {fingerprint[:12]}…: {per['rows']} rows, "
+            f"{per['payload_bytes']} payload bytes"
+        )
     return 0
 
 
@@ -369,6 +501,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose)
     if args.command == "coverage":
         return _command_coverage()
     if args.command == "parameters":
@@ -390,6 +523,8 @@ def main(argv: list[str] | None = None) -> int:
                 args.workers,
                 args.max_store_mb,
             )
+        if args.lake_command == "stats":
+            return _command_lake_stats(args.store, args.prepared_store)
         return _command_lake_query(
             args.query_csv,
             args.store,
@@ -400,6 +535,8 @@ def main(argv: list[str] | None = None) -> int:
             args.workers,
             args.prepared_store,
             args.no_prepared_store,
+            show_stats=args.stats,
+            trace_json=args.trace_json,
         )
     parser.error(f"unknown command {args.command!r}")
     return 2

@@ -50,6 +50,7 @@ locks and shared memory — keep stores on a local disk, not NFS.
 
 from __future__ import annotations
 
+import logging
 import pickle
 import sqlite3
 from collections import OrderedDict
@@ -61,6 +62,9 @@ from repro.data.fingerprint import table_content_hash
 from repro.data.sqlite_store import _MAX_IN_VARS, PerProcessSqliteStore
 from repro.data.table import Table
 from repro.matchers.base import BaseMatcher, PreparedTable
+from repro.telemetry import recorder as telemetry
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["PreparedTableCache", "PreparedStore", "PREPARED_PAYLOAD_FORMAT"]
 
@@ -134,9 +138,11 @@ class PreparedTableCache:
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
+            telemetry.count("prepared_cache.hits")
             self._entries.move_to_end(key)
             return cached
         self.misses += 1
+        telemetry.count("prepared_cache.misses")
         if self.backing is not None:
             prepared = self.backing.prepare(matcher, table, content_hash=content_hash)
         else:
@@ -144,6 +150,7 @@ class PreparedTableCache:
         self._entries[key] = prepared
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            telemetry.count("prepared_cache.evictions")
         return prepared
 
     def __len__(self) -> int:
@@ -340,6 +347,12 @@ class PreparedStore(PerProcessSqliteStore):
 
     def _discard(self, fingerprint: str, table_name: str, content_hash: str) -> None:
         """Delete one untrustworthy row (no-op on read-only stores)."""
+        logger.warning(
+            "discarding corrupt or foreign prepared row (table=%r, fingerprint=%s...)",
+            table_name,
+            fingerprint[:12],
+        )
+        telemetry.count("prepared_store.discarded_rows")
         if self.read_only:
             return
         with self._connection:
@@ -373,6 +386,8 @@ class PreparedStore(PerProcessSqliteStore):
             return None
         self._record_touch((fingerprint, table_name, content_hash))
         self.hits += 1
+        telemetry.count("prepared_store.hits")
+        telemetry.count("prepared_store.bytes_read", len(row[1]))
         return prepared
 
     def get_raw(
@@ -394,6 +409,8 @@ class PreparedStore(PerProcessSqliteStore):
             return None
         self._record_touch((fingerprint, table_name, content_hash))
         self.hits += 1
+        telemetry.count("prepared_store.hits")
+        telemetry.count("prepared_store.bytes_read", len(row[1]))
         return row[1]
 
     def get_many(
@@ -437,6 +454,8 @@ class PreparedStore(PerProcessSqliteStore):
                 found[table_name] = prepared
                 self._record_touch((fingerprint, table_name, content_hash))
                 self.hits += 1
+                telemetry.count("prepared_store.hits")
+                telemetry.count("prepared_store.bytes_read", len(blob))
         return found
 
     def contains_many(
@@ -496,7 +515,10 @@ class PreparedStore(PerProcessSqliteStore):
                     "SELECT rowid FROM prepared ORDER BY last_used, rowid LIMIT ?)",
                     (overflow,),
                 )
+                telemetry.count("prepared_store.evictions", overflow)
             self._evict_over_byte_budget(connection)
+        telemetry.count("prepared_store.writes")
+        telemetry.count("prepared_store.bytes_written", len(blob))
 
     def _evict_over_byte_budget(self, connection: sqlite3.Connection) -> None:
         """Evict LRU rows until the summed payload size fits ``max_bytes``.
@@ -530,6 +552,12 @@ class PreparedStore(PerProcessSqliteStore):
                 "SELECT rowid FROM prepared ORDER BY last_used, rowid LIMIT ?)",
                 (victims,),
             )
+            telemetry.count("prepared_store.evictions", victims)
+            logger.debug(
+                "byte budget evicted %d prepared payloads (budget %d bytes)",
+                victims,
+                self.max_bytes,
+            )
 
     @property
     def total_bytes(self) -> int:
@@ -556,7 +584,9 @@ class PreparedStore(PerProcessSqliteStore):
         if prepared is not None:
             return prepared
         self.misses += 1
-        prepared = matcher.prepare(table)
+        telemetry.count("prepared_store.misses")
+        with telemetry.span("prepared_store.prepare", table=table.name):
+            prepared = matcher.prepare(table)
         self.put(prepared, content_hash=content_hash)
         return prepared
 
@@ -593,6 +623,32 @@ class PreparedStore(PerProcessSqliteStore):
                 (fingerprint,),
             ).fetchall()
         return [row[0] for row in rows]
+
+    def stats(self) -> dict:
+        """Store-level counters for ``lake stats``: rows, bytes, per matcher.
+
+        ``per_fingerprint`` maps each stored matcher fingerprint to its row
+        count and summed payload bytes — the shape of the store on disk.
+        The in-process ``hits``/``misses`` (and their ``hit_rate``) describe
+        only this handle's session, not the store's lifetime.
+        """
+        rows = self._connection.execute(
+            "SELECT matcher_fingerprint, COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
+            "FROM prepared GROUP BY matcher_fingerprint ORDER BY matcher_fingerprint"
+        ).fetchall()
+        return {
+            "rows": len(self),
+            "total_payload_bytes": self.total_bytes,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+            "session_hit_rate": self.hit_rate,
+            "per_fingerprint": {
+                fingerprint: {"rows": count, "payload_bytes": nbytes}
+                for fingerprint, count, nbytes in rows
+            },
+        }
 
     def clear(self) -> None:
         """Drop every stored payload and reset the hit/miss counters."""

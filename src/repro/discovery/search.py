@@ -38,11 +38,13 @@ from __future__ import annotations
 
 import csv
 import itertools
+import logging
 import math
 import multiprocessing
 import os
 import pickle
 import sqlite3
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -52,6 +54,9 @@ from repro.data.table import Table
 from repro.discovery.prepared import PreparedTableCache
 from repro.discovery.relatedness import RelatednessScores, relatedness
 from repro.matchers.base import BaseMatcher, MatchResult, PreparedTable
+from repro.telemetry import recorder as telemetry
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "DatasetRepository",
@@ -303,6 +308,10 @@ class RerankPool:
         except BrokenProcessPool:
             # A worker crashed (OOM, hard kill): heal the pool and give the
             # batch one more chance before surfacing the failure.
+            logger.warning(
+                "rerank pool broke (a worker died); respawning and retrying the batch"
+            )
+            telemetry.count("rerank_pool.respawns")
             self.close()
             return list(self._ensure_executor().map(fn, tasks))
 
@@ -377,6 +386,7 @@ def _resolve_chunk_in_worker(
         found = prepared_store.get_many(source.fingerprint, keys)
         resolved: list[Union[Table, PreparedTable]] = []
         hits = 0
+        dropped = 0
         for name in names:
             prepared = found.get(name)
             if prepared is not None:
@@ -385,10 +395,15 @@ def _resolve_chunk_in_worker(
                 continue
             _build_hash, path = meta.get(name, (None, None))
             if path is None:
+                dropped += 1
+                logger.debug("candidate %r has no stored payload and no CSV; dropped", name)
                 continue  # neither stored nor on disk: cannot be ranked
             try:
-                table = read_csv(path, name=name)
-            except (OSError, ValueError, csv.Error):
+                with telemetry.span("rerank.csv_read", table=name):
+                    table = read_csv(path, name=name)
+            except (OSError, ValueError, csv.Error) as exc:
+                dropped += 1
+                logger.warning("skipping candidate %r: unreadable CSV %s (%s)", name, path, exc)
                 continue  # stale store entry (CSV moved/corrupted since build)
             # Mirror the serial provider for CSVs edited since `lake build`:
             # the batch lookup above keys on the build-time hash, but a
@@ -397,13 +412,21 @@ def _resolve_chunk_in_worker(
             current_hash = table_content_hash(table)
             prepared = prepared_store.get(source.fingerprint, name, current_hash)
             if prepared is None:
-                prepared = scorer.matcher.prepare(table)
+                telemetry.count("prepared_store.misses")
+                with telemetry.span("rerank.prepare_candidate", table=name):
+                    prepared = scorer.matcher.prepare(table)
                 if source.write_through:
                     try:
                         prepared_store.put(prepared, content_hash=current_hash)
                     except sqlite3.Error:  # pragma: no cover - lock contention
-                        pass  # the payload still serves this query; only reuse is lost
+                        # The payload still serves this query; only reuse is lost.
+                        logger.warning(
+                            "write-through of %r lost to store contention", name
+                        )
+                        telemetry.count("prepared_store.write_contention")
             resolved.append(prepared)
+        if dropped:
+            telemetry.count("discovery.candidates_dropped", dropped)
         return resolved, hits
     finally:
         prepared_store.close()
@@ -411,24 +434,60 @@ def _resolve_chunk_in_worker(
 
 
 #: One parallel-rerank task: ``(query token, pickled (scorer, prepared
-#: query), optional worker-side candidate source, chunk)``.  The chunk is a
-#: list of table *names* when a source is given (workers resolve), else a
-#: list of parent-resolved ``Table``/``PreparedTable`` candidates.
-_RerankChunk = tuple[str, bytes, Optional[WorkerCandidateSource], list]
+#: query), optional worker-side candidate source, chunk, stats epoch)``.
+#: The chunk is a list of table *names* when a source is given (workers
+#: resolve), else a list of parent-resolved ``Table``/``PreparedTable``
+#: candidates.  ``stats epoch`` is ``None`` when telemetry is disabled,
+#: else the parent's ``perf_counter`` at submit time — the worker measures
+#: queue wait against it (on Linux ``perf_counter`` is ``CLOCK_MONOTONIC``,
+#: shared machine-wide, so the cross-process delta is meaningful).
+_RerankChunk = tuple[str, bytes, Optional[WorkerCandidateSource], list, Optional[float]]
 
 
-def _rerank_worker_chunk(task: _RerankChunk) -> tuple[list[DiscoveryResult], int]:
-    token, state_blob, source, items = task
+def _score_chunk(
+    task: _RerankChunk,
+) -> tuple[list[DiscoveryResult], int]:
+    """Resolve (if worker-sourced) and score one chunk; the task's core."""
+    token, state_blob, source, items, _epoch = task
     scorer, query_prepared = _load_query_state(token, state_blob)
     store_hits = 0
     if source is not None:
-        candidates, store_hits = _resolve_chunk_in_worker(source, items, scorer)
+        with telemetry.span("rerank.resolve_chunk", size=len(items)):
+            candidates, store_hits = _resolve_chunk_in_worker(source, items, scorer)
     else:
         candidates = items
-    results = [
-        scorer.score_prepared(query_prepared, candidate) for candidate in candidates
-    ]
+    with telemetry.span("rerank.score_chunk", size=len(candidates)):
+        results = [
+            scorer.score_prepared(query_prepared, candidate)
+            for candidate in candidates
+        ]
+    telemetry.count("discovery.candidates_scored", len(results))
     return results, store_hits
+
+
+def _rerank_worker_chunk(
+    task: _RerankChunk,
+) -> tuple[list[DiscoveryResult], int, Optional["telemetry.TelemetrySnapshot"]]:
+    """One chunk task, run inside a (spawned) rerank worker.
+
+    With telemetry enabled (``stats epoch`` set), the worker records into
+    its own :class:`~repro.telemetry.recorder.TelemetryRecorder` and ships
+    the picklable snapshot back piggybacked on the result tuple — the
+    parent merges every chunk's snapshot into its active recorder, giving
+    one coherent cross-process trace per query.
+    """
+    epoch = task[4]
+    if epoch is None:
+        results, store_hits = _score_chunk(task)
+        return results, store_hits, None
+    recorder = telemetry.TelemetryRecorder()
+    with telemetry.use(recorder):
+        recorder.observe(
+            "rerank.queue_wait", max(0.0, time.perf_counter() - epoch)
+        )
+        with recorder.span("rerank.chunk", size=len(task[3])):
+            results, store_hits = _score_chunk(task)
+    return results, store_hits, recorder.snapshot()
 
 
 #: Target chunks per worker: >1 smooths uneven chunk costs, while each chunk
@@ -470,12 +529,20 @@ def _parallel_rerank(
     pool: Optional[RerankPool],
     max_workers: Optional[int],
 ) -> tuple[list[DiscoveryResult], int]:
-    """Fan one rerank out over batched chunks; returns (results, store hits)."""
+    """Fan one rerank out over batched chunks; returns (results, store hits).
+
+    When a real telemetry recorder is active in the parent, every task
+    carries a submit timestamp (for worker-side queue-wait measurement) and
+    every worker returns a stats snapshot, merged here — the whole parallel
+    rerank lands in one recorder as if it had run in-process.
+    """
+    recorder = telemetry.get_recorder()
     state_blob = pickle.dumps((scorer, query_prepared), protocol=4)
     token = f"{os.getpid()}-{next(_QUERY_TOKENS)}"
     workers = pool.workers if pool is not None else (max_workers or os.cpu_count() or 1)
+    epoch = time.perf_counter() if recorder.enabled else None
     tasks: list[_RerankChunk] = [
-        (token, state_blob, source, chunk) for chunk in _chunked(items, workers)
+        (token, state_blob, source, chunk, epoch) for chunk in _chunked(items, workers)
     ]
     if pool is not None:
         outcomes = pool.map(_rerank_worker_chunk, tasks)
@@ -489,9 +556,12 @@ def _parallel_rerank(
             outcomes = list(executor.map(_rerank_worker_chunk, tasks))
     results: list[DiscoveryResult] = []
     store_hits = 0
-    for chunk_results, chunk_hits in outcomes:
+    for chunk_results, chunk_hits, chunk_snapshot in outcomes:
         results.extend(chunk_results)
         store_hits += chunk_hits
+        if chunk_snapshot is not None:
+            recorder.merge(chunk_snapshot)
+    telemetry.count("rerank_pool.chunks", len(tasks))
     return results, store_hits
 
 
@@ -568,36 +638,48 @@ def prune_then_rerank(
     if parallel and worker_source is not None:
         names = fan_out_names(query.name, candidate_names)
         if len(names) >= MIN_FAN_OUT:
-            if prepared_cache is not None:
-                query_prepared = prepared_cache.prepare(scorer.matcher, query)
-            else:
-                query_prepared = scorer.matcher.prepare(query)
-            results, store_hits = _parallel_rerank(
-                scorer, query_prepared, names, worker_source, pool, max_workers
-            )
+            with telemetry.span("discovery.prepare_query", table=query.name):
+                if prepared_cache is not None:
+                    query_prepared = prepared_cache.prepare(scorer.matcher, query)
+                else:
+                    query_prepared = scorer.matcher.prepare(query)
+            with telemetry.span("discovery.score", candidates=len(names)):
+                results, store_hits = _parallel_rerank(
+                    scorer, query_prepared, names, worker_source, pool, max_workers
+                )
             worker_source.store_hits = store_hits
-            sort_discovery_results(results, mode)
+            with telemetry.span("discovery.sort"):
+                sort_discovery_results(results, mode)
             truncated = results[:top_k] if top_k is not None else results
             return truncated, len(results)
         candidate_names = names
     candidates: list[Union[Table, PreparedTable]] = []
-    for name in candidate_names:
-        if name == query.name:
-            continue
-        table = resolve(name)
-        if table is not None:
-            candidates.append(table)
-    if prepared_cache is not None:
-        query_prepared = prepared_cache.prepare(scorer.matcher, query)
-    else:
-        query_prepared = scorer.matcher.prepare(query)
+    dropped = 0
+    with telemetry.span("discovery.resolve"):
+        for name in candidate_names:
+            if name == query.name:
+                continue
+            table = resolve(name)
+            if table is not None:
+                candidates.append(table)
+            else:
+                dropped += 1
+    if dropped:
+        telemetry.count("discovery.candidates_dropped", dropped)
+        logger.debug("%d shortlisted candidates could not be resolved", dropped)
+    with telemetry.span("discovery.prepare_query", table=query.name):
+        if prepared_cache is not None:
+            query_prepared = prepared_cache.prepare(scorer.matcher, query)
+        else:
+            query_prepared = scorer.matcher.prepare(query)
     if parallel and len(candidates) > 1:
         # Parent-resolved parallel path (in-memory repositories / stores):
         # candidates the resolver delivered as PreparedTable ship their
         # payload to the worker; raw tables are prepared in-worker.
-        results, _ = _parallel_rerank(
-            scorer, query_prepared, candidates, None, pool, max_workers
-        )
+        with telemetry.span("discovery.score", candidates=len(candidates)):
+            results, _ = _parallel_rerank(
+                scorer, query_prepared, candidates, None, pool, max_workers
+            )
     else:
         # Candidate-side caching only pays off when the matcher actually
         # consumes prepared payloads; a legacy get_matches override discards
@@ -608,16 +690,19 @@ def prune_then_rerank(
             prepared_cache is not None
             and not scorer.matcher.prefers_legacy_get_matches()
         )
-        results = [
-            scorer.score_prepared(
-                query_prepared,
-                prepared_cache.prepare(scorer.matcher, candidate)
-                if cache_candidates and not isinstance(candidate, PreparedTable)
-                else candidate,
-            )
-            for candidate in candidates
-        ]
-    sort_discovery_results(results, mode)
+        with telemetry.span("discovery.score", candidates=len(candidates)):
+            results = [
+                scorer.score_prepared(
+                    query_prepared,
+                    prepared_cache.prepare(scorer.matcher, candidate)
+                    if cache_candidates and not isinstance(candidate, PreparedTable)
+                    else candidate,
+                )
+                for candidate in candidates
+            ]
+        telemetry.count("discovery.candidates_scored", len(results))
+    with telemetry.span("discovery.sort"):
+        sort_discovery_results(results, mode)
     truncated = results[:top_k] if top_k is not None else results
     return truncated, len(candidates)
 

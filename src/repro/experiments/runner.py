@@ -18,6 +18,8 @@ from repro.experiments.parameters import ParameterGrid
 from repro.experiments.results import ExperimentRecord, ResultSet
 from repro.matchers.base import BaseMatcher
 from repro.metrics.ranking import recall_at_ground_truth, reciprocal_rank
+from repro.telemetry import recorder as telemetry
+from repro.telemetry.recorder import TelemetryRecorder
 
 __all__ = ["ExperimentRunner", "run_single_experiment"]
 
@@ -59,22 +61,35 @@ def run_single_experiment(
     # are unchanged: prepare + match is exactly what get_matches does.
     # Matchers whose subclass overrode get_matches below the prepared
     # pipeline go through get_matches so the override is honoured.
-    cache_hits_before = prepared_cache.hits if prepared_cache is not None else 0
+    #
+    # Every run executes under its own telemetry recorder: the snapshot
+    # yields the cache-hit counters this record reports and is flattened
+    # into ``extra_metrics`` (``tm.*``), then merged into whatever recorder
+    # the caller has active so sweep-level totals still add up.
+    parent = telemetry.get_recorder()
+    run_recorder = TelemetryRecorder()
     use_cache = prepared_cache is not None and not matcher.prefers_legacy_get_matches()
     started = time.perf_counter()
-    if matcher.prefers_legacy_get_matches():
-        prepared_at = started
-        result = matcher.get_matches(pair.source, pair.target)
-    else:
-        if use_cache:
-            source_prepared = prepared_cache.prepare(matcher, pair.source)
-            target_prepared = prepared_cache.prepare(matcher, pair.target)
+    with telemetry.use(run_recorder):
+        if matcher.prefers_legacy_get_matches():
+            prepared_at = started
+            with telemetry.span("matcher.match", pair=pair.name):
+                result = matcher.get_matches(pair.source, pair.target)
         else:
-            source_prepared = matcher.prepare(pair.source)
-            target_prepared = matcher.prepare(pair.target)
-        prepared_at = time.perf_counter()
-        result = matcher.match_prepared(source_prepared, target_prepared)
+            with telemetry.span("matcher.prepare", pair=pair.name):
+                if use_cache:
+                    source_prepared = prepared_cache.prepare(matcher, pair.source)
+                    target_prepared = prepared_cache.prepare(matcher, pair.target)
+                else:
+                    source_prepared = matcher.prepare(pair.source)
+                    target_prepared = matcher.prepare(pair.target)
+            prepared_at = time.perf_counter()
+            with telemetry.span("matcher.match", pair=pair.name):
+                result = matcher.match_prepared(source_prepared, target_prepared)
     elapsed = time.perf_counter() - started
+    snapshot = run_recorder.snapshot()
+    if parent.enabled:
+        parent.merge(snapshot)
 
     ranked = result.ranked_pairs()
     truth = pair.ground_truth
@@ -84,9 +99,19 @@ def run_single_experiment(
         "prepare_seconds": prepared_at - started,
     }
     if use_cache:
-        run_hits = prepared_cache.hits - cache_hits_before
+        # Both the hit count and the number of prepares come from this
+        # run's own telemetry counters — the denominator is no longer a
+        # hardcoded "2 prepares per run" assumption.
+        run_hits = snapshot.counters.get("prepared_cache.hits", 0)
+        run_prepares = run_hits + snapshot.counters.get("prepared_cache.misses", 0)
         extra_metrics["prepare_cache_hits"] = float(run_hits)
-        extra_metrics["prepare_cache_hit_rate"] = run_hits / 2.0  # 2 prepares/run
+        extra_metrics["prepare_cache_hit_rate"] = (
+            run_hits / run_prepares if run_prepares else 0.0
+        )
+    for name, value in sorted(snapshot.counters.items()):
+        extra_metrics[f"tm.{name}"] = float(value)
+    for name, seconds in sorted(snapshot.stage_seconds().items()):
+        extra_metrics[f"tm.{name}.seconds"] = seconds
     record = ExperimentRecord(
         method=method_name or matcher.name,
         matcher_code=matcher.code,

@@ -23,6 +23,7 @@ query runs warm.
 from __future__ import annotations
 
 import csv
+import logging
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -36,6 +37,8 @@ from repro.lake.store import SketchStore
 from repro.matchers.base import BaseMatcher, PreparedTable
 
 __all__ = ["BuildReport", "PrepareReport", "build_from_paths", "prepare_lake"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -150,6 +153,7 @@ def _commit_build(
         resolved = str(Path(path).resolve())
         if status == "unreadable":
             report.unreadable.append(name)
+            logger.warning("skipping unreadable %s: %s", path, error)
             if on_unreadable is not None:
                 on_unreadable(f"skipping unreadable {path}: {error}")
         elif status == "unchanged":
@@ -228,6 +232,9 @@ def prepare_lake(
     def _commit(outcome: tuple[str, Optional[str], Optional[PreparedTable]]) -> None:
         name, content_hash, prepared = outcome
         if prepared is None:
+            logger.warning(
+                "prepare_lake: table %r has no readable source CSV; skipping", name
+            )
             report.missing.append(name)
             return
         prepared_store.put(prepared, content_hash=content_hash)

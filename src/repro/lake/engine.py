@@ -34,6 +34,8 @@ workers (created lazily on the first parallel query; release it with
 from __future__ import annotations
 
 import csv
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
 
@@ -57,8 +59,13 @@ from repro.lake.index import CandidateTable, LakeIndex, LSHParams
 from repro.lake.profiles import sketch_table
 from repro.lake.store import SketchStore
 from repro.matchers.base import BaseMatcher, PreparedTable
+from repro.telemetry import recorder as telemetry
+from repro.telemetry.recorder import TelemetryRecorder
+from repro.telemetry.stats import QueryStats
 
 __all__ = ["LakeDiscoveryEngine"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -113,13 +120,24 @@ class LakeDiscoveryEngine:
     #: How many candidates the matcher actually reranked in the last
     #: :meth:`query` (before top-k truncation) — the pruning statistic.
     last_rerank_count: int = field(default=0, repr=False, init=False)
-    #: How many of the last :meth:`query`'s candidates were served straight
-    #: from the prepared store (no CSV read, no prepare) — the warm-path
-    #: statistic.
-    last_store_hits: int = field(default=0, repr=False, init=False)
+    #: Structured statistics of the last :meth:`query` — stage durations,
+    #: shortlist/rerank sizes, store hits, and (when a telemetry recorder is
+    #: active) the full counter/span snapshot of that query.
+    last_query_stats: Optional[QueryStats] = field(default=None, repr=False, init=False)
+    _store_hits: int = field(default=0, repr=False, init=False)
     _index: Optional[LakeIndex] = field(default=None, repr=False, init=False)
     _index_version: int = field(default=-1, repr=False, init=False)
     _owns_pool: bool = field(default=False, repr=False, init=False)
+
+    @property
+    def last_store_hits(self) -> int:
+        """Deprecated alias for :attr:`last_query_stats` ``.store_hits``.
+
+        How many of the last :meth:`query`'s candidates were served straight
+        from the prepared store (no CSV read, no prepare).  Prefer
+        ``engine.last_query_stats.store_hits``.
+        """
+        return self._store_hits
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -273,15 +291,21 @@ class LakeDiscoveryEngine:
         # hash, which invalidates the prefetch lookup).
         prepared = prefetched.get(name)
         if prepared is not None:
-            self.last_store_hits += 1
+            self._store_hits += 1
             return prepared
         path = self.store.source_path(name) if name in self.store else None
         if path is not None:
             try:
                 return read_csv(path, name=name)
-            except (OSError, ValueError, csv.Error):
+            except (OSError, ValueError, csv.Error) as exc:
                 # Stale store entry: the CSV moved, or was overwritten with
                 # something unreadable, since `build`. Skip the candidate.
+                logger.warning(
+                    "skipping candidate %r: stored CSV path %s is unreadable (%s)",
+                    name,
+                    path,
+                    exc,
+                )
                 return None
         return None
 
@@ -320,10 +344,62 @@ class LakeDiscoveryEngine:
         max_workers:
             Pool size for the parallel path (fixed when the persistent
             pool is first created; default: executor's choice).
+
+        Afterwards :attr:`last_query_stats` holds the structured statistics
+        of this query (stage durations, shortlist/rerank sizes, store hits).
+        When a :class:`~repro.telemetry.TelemetryRecorder` is active (via
+        ``telemetry.use(...)`` or ``set_default_recorder``), this query runs
+        under a private child recorder whose counter/span snapshot is merged
+        back into the active recorder *and* attached to the stats — so
+        per-query attribution survives even on a shared recorder.
         """
-        shortlist = self.shortlist(query, top_k=top_k)
+        parent = telemetry.get_recorder()
+        child = TelemetryRecorder() if parent.enabled else None
+        start = time.perf_counter()
+        if child is not None:
+            with telemetry.use(child):
+                results, stage_seconds, shortlist_size = self._run_query(
+                    query, repository, mode, top_k, parallel, max_workers
+                )
+        else:
+            results, stage_seconds, shortlist_size = self._run_query(
+                query, repository, mode, top_k, parallel, max_workers
+            )
+        total_seconds = time.perf_counter() - start
+        snapshot = None
+        if child is not None:
+            snapshot = child.snapshot()
+            parent.merge(snapshot)
+        self.last_query_stats = QueryStats(
+            query_name=query.name,
+            mode=mode,
+            parallel=parallel,
+            shortlist_size=shortlist_size,
+            rerank_count=self.last_rerank_count,
+            store_hits=self._store_hits,
+            total_seconds=total_seconds,
+            shortlist_seconds=stage_seconds[0],
+            rerank_seconds=stage_seconds[1],
+            snapshot=snapshot,
+        )
+        return results
+
+    def _run_query(
+        self,
+        query: Table,
+        repository: Optional[DatasetRepository],
+        mode: str,
+        top_k: Optional[int],
+        parallel: bool,
+        max_workers: Optional[int],
+    ) -> tuple[list[DiscoveryResult], tuple[float, float], int]:
+        """The two-stage plan itself; returns (results, stage seconds, shortlist size)."""
+        shortlist_start = time.perf_counter()
+        with telemetry.span("query.shortlist", table=query.name):
+            shortlist = self.shortlist(query, top_k=top_k)
+        shortlist_seconds = time.perf_counter() - shortlist_start
         names = [entry.table_name for entry in shortlist]
-        self.last_store_hits = 0
+        self._store_hits = 0
         # The prepared-store fast path hands fully prepared candidates to the
         # rerank; matchers that insist on their legacy get_matches override
         # consume raw tables, so the fast path is skipped for them.
@@ -362,6 +438,7 @@ class LakeDiscoveryEngine:
                 names, query.name, repository, fingerprint
             )
         pool = self._ensure_rerank_pool(max_workers) if parallel else None
+        rerank_start = time.perf_counter()
         results, rerank_count = prune_then_rerank(
             query,
             names,
@@ -375,7 +452,8 @@ class LakeDiscoveryEngine:
             worker_source=worker_source,
             pool=pool,
         )
+        rerank_seconds = time.perf_counter() - rerank_start
         if worker_source is not None:
-            self.last_store_hits = worker_source.store_hits
+            self._store_hits = worker_source.store_hits
         self.last_rerank_count = rerank_count
-        return results
+        return results, (shortlist_seconds, rerank_seconds), len(names)

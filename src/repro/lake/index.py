@@ -21,6 +21,7 @@ from typing import Iterable, Optional
 
 from repro.data.table import Table
 from repro.lake.profiles import ColumnSketch, SketchConfig, TableSketch, sketch_table
+from repro.telemetry import recorder as telemetry
 
 __all__ = ["LSHParams", "CandidateTable", "LakeIndex"]
 
@@ -197,25 +198,40 @@ class LakeIndex:
             )
             seen |= name_matches
         scored: list[tuple[ColumnSketch, float]] = []
+        # Pre-filter rejections are tallied locally and emitted as one batch
+        # of counters per call — the loop body stays telemetry-free.
+        type_rejected = histogram_rejected = jaccard_rejected = 0
         for column_key in seen:
             if column_key == query.key or column_key[0] == exclude_table:
                 continue
             candidate = self._columns[column_key]
             if query.type_compatibility(candidate) < params.min_type_compatibility:
+                type_rejected += 1
                 continue
             name_match = column_key in name_matches
             if (
                 not name_match
                 and query.histogram_distance(candidate) > params.max_histogram_distance
             ):
+                histogram_rejected += 1
                 continue
             similarity = query.jaccard(candidate)
             if name_match:
                 similarity = max(similarity, params.name_match_score)
             if similarity < params.min_jaccard:
+                jaccard_rejected += 1
                 continue
             scored.append((candidate, similarity))
         scored.sort(key=lambda item: (-item[1], item[0].key))
+        telemetry.count("lsh.bands_probed", params.bands)
+        telemetry.count("lsh.bucket_candidates", len(seen))
+        if type_rejected:
+            telemetry.count("lsh.type_rejected", type_rejected)
+        if histogram_rejected:
+            telemetry.count("lsh.histogram_rejected", histogram_rejected)
+        if jaccard_rejected:
+            telemetry.count("lsh.jaccard_rejected", jaccard_rejected)
+        telemetry.count("lsh.columns_accepted", len(scored))
         return scored
 
     def candidate_tables(

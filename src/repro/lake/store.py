@@ -26,6 +26,7 @@ Consistency properties:
 from __future__ import annotations
 
 import json
+import logging
 from pathlib import Path
 from typing import Iterator, Optional, Sequence, Union
 
@@ -38,6 +39,9 @@ from repro.lake.profiles import (
     sketch_table,
     table_content_hash,
 )
+from repro.telemetry import recorder as telemetry
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["SketchStore"]
 
@@ -174,9 +178,12 @@ class SketchStore(PerProcessSqliteStore):
         """
         content_hash = table_content_hash(table)
         if self._is_unchanged(table.name, content_hash, source_path):
+            telemetry.count("sketch_store.unchanged")
             return False
-        sketch = sketch_table(table, self.config, content_hash=content_hash)
+        with telemetry.span("sketch_store.sketch", table=table.name):
+            sketch = sketch_table(table, self.config, content_hash=content_hash)
         self._write_sketch(sketch, source_path)
+        telemetry.count("sketch_store.sketch_writes")
         return True
 
     def add_sketch(
@@ -338,6 +345,10 @@ class SketchStore(PerProcessSqliteStore):
             ).fetchall()
             for name, content_hash, source_path in rows:
                 out[name] = (content_hash, source_path)
+        telemetry.count("sketch_store.meta_lookups", len(names))
+        telemetry.count("sketch_store.meta_hits", len(out))
+        if len(out) < len(set(names)):
+            telemetry.count("sketch_store.meta_misses", len(set(names)) - len(out))
         return out
 
     def source_path(self, name: str) -> Optional[str]:
@@ -349,8 +360,23 @@ class SketchStore(PerProcessSqliteStore):
             raise KeyError(f"store has no table {name!r}")
         return row[0]
 
+    def stats(self) -> dict:
+        """Store-level counters for ``lake stats``: row counts, version, config."""
+        tables, total_rows = self._connection.execute(
+            "SELECT COUNT(*), COALESCE(SUM(num_rows), 0) FROM tables"
+        ).fetchone()
+        columns = self._connection.execute("SELECT COUNT(*) FROM columns").fetchone()[0]
+        return {
+            "tables": tables,
+            "columns": columns,
+            "total_table_rows": total_rows,
+            "version": self.version,
+            "config": self.config.as_dict(),
+        }
+
     def get(self, name: str) -> Optional[TableSketch]:
         """Return the :class:`TableSketch` of *name* or ``None``."""
+        telemetry.count("sketch_store.sketch_reads")
         row = self._connection.execute(
             "SELECT content_hash, num_rows FROM tables WHERE name = ?", (name,)
         ).fetchone()

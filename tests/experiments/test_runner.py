@@ -116,6 +116,54 @@ class TestCacheAwareRunner:
             "prepare_cache_hit_rate" not in record.extra_metrics for record in results
         )
 
+    def test_hit_rate_denominator_comes_from_telemetry(self, small_grids, unionable_pair):
+        """The hit rate is hits / (hits + misses) as counted by this run's
+        own telemetry — not a hardcoded two-prepares-per-run assumption."""
+        from repro.discovery.prepared import PreparedTableCache
+
+        runner = ExperimentRunner(
+            grids=small_grids, prepared_cache=PreparedTableCache()
+        )
+        results = runner.run_method("JaccardLevenshtein", [unionable_pair])
+        for record in results:
+            hits = record.extra_metrics.get("tm.prepared_cache.hits", 0.0)
+            misses = record.extra_metrics.get("tm.prepared_cache.misses", 0.0)
+            prepares = hits + misses
+            assert prepares == 2.0  # source + target, per-run counters
+            assert record.extra_metrics["prepare_cache_hit_rate"] == pytest.approx(
+                hits / prepares
+            )
+            assert record.extra_metrics["prepare_cache_hits"] == hits
+
+
+class TestTelemetryMetrics:
+    def test_records_carry_tm_metrics(self, unionable_pair):
+        """Every record flattens its per-run telemetry: matcher stage
+        durations always, counters whenever the run produced any."""
+        record = run_single_experiment(ComaSchemaMatcher(), unionable_pair)
+        assert record.extra_metrics["tm.matcher.prepare.seconds"] >= 0.0
+        assert record.extra_metrics["tm.matcher.match.seconds"] >= 0.0
+        assert all(
+            isinstance(value, float) for value in record.extra_metrics.values()
+        )
+
+    def test_run_merges_into_active_recorder(self, unionable_pair):
+        from repro.telemetry import TelemetryRecorder, use
+
+        recorder = TelemetryRecorder()
+        with use(recorder):
+            run_single_experiment(ComaSchemaMatcher(), unionable_pair)
+            run_single_experiment(ComaSchemaMatcher(), unionable_pair)
+        snap = recorder.snapshot()
+        assert len(snap.durations["matcher.prepare"]) == 2
+        assert len(snap.durations["matcher.match"]) == 2
+
+    def test_runs_record_nothing_globally_by_default(self, unionable_pair):
+        from repro.telemetry import NULL_RECORDER
+
+        run_single_experiment(ComaSchemaMatcher(), unionable_pair)
+        assert NULL_RECORDER.snapshot().empty
+
 
 class TestPooledRunner:
     def test_pooled_sweep_matches_serial_records(

@@ -24,6 +24,7 @@ from repro.discovery.search import RerankPool
 from repro.lake import LakeDiscoveryEngine, SketchStore, build_from_paths, prepare_lake
 from repro.matchers.jaccard_levenshtein import JaccardLevenshteinMatcher
 from repro.matchers.registry import available_matchers, create_matcher
+from repro.telemetry import NULL_RECORDER, TelemetryRecorder, use
 
 #: One lightweight configuration per registered matcher (mirrors the
 #: prepared-store round-trip test) so the full-coverage equality test stays
@@ -201,6 +202,88 @@ class TestRerankPoolLifecycle:
                 process.terminate()
             assert pool.map(len, [[1, 2, 3]]) == [3]
             assert pool.spawn_count == 2  # healed with one respawn
+
+
+class TestTelemetryParity:
+    def test_parallel_counters_match_serial_for_every_matcher(self, warm_lake):
+        """Worker-side telemetry snapshots must merge back into the parent's
+        recorder so that a warm parallel query reports the *same* pipeline
+        counters as the equivalent serial query, for all eight matchers —
+        the counters are recorded in different processes on the parallel
+        path, but the totals are a property of the query, not the plan."""
+        store, prepared_path, query, _ = warm_lake
+        with RerankPool(max_workers=2) as pool:
+            for name in sorted(available_matchers()):
+                matcher = create_matcher(name, **_LIGHT_CONFIGS.get(name, {}))
+                with PreparedStore(prepared_path) as prepared_store:
+                    prepare_lake(store, prepared_store, matcher)
+                    serial_engine = LakeDiscoveryEngine(
+                        matcher=matcher, store=store, prepared_store=prepared_store
+                    )
+                    # Warm-up writes the query table's own payload through,
+                    # so both measured queries below run fully warm.
+                    serial_engine.query(query, mode="unionable")
+                    serial_recorder = TelemetryRecorder()
+                    with use(serial_recorder):
+                        serial_engine.query(query, mode="unionable")
+                    parallel_engine = LakeDiscoveryEngine(
+                        matcher=matcher,
+                        store=store,
+                        prepared_store=prepared_store,
+                        rerank_pool=pool,
+                    )
+                    parallel_recorder = TelemetryRecorder()
+                    with use(parallel_recorder):
+                        parallel_engine.query(
+                            query, mode="unionable", parallel=True, max_workers=2
+                        )
+                    serial = serial_recorder.snapshot().counters
+                    parallel = parallel_recorder.snapshot().counters
+                    assert (
+                        serial.get("discovery.candidates_scored")
+                        == parallel.get("discovery.candidates_scored")
+                        == _NUM_TABLES
+                    ), f"{name}: scored-candidate counters diverged"
+                    assert serial.get("prepared_store.hits") == parallel.get(
+                        "prepared_store.hits"
+                    ), f"{name}: prepared-store hit counters diverged"
+                    # The parallel plan leaves its own fingerprints: chunk
+                    # accounting and worker-measured queue waits.
+                    assert parallel.get("rerank_pool.chunks", 0) >= 1
+                    waits = parallel_recorder.snapshot().durations.get(
+                        "rerank.queue_wait", []
+                    )
+                    assert waits and all(wait >= 0.0 for wait in waits)
+                    # QueryStats carries the per-query snapshot and agrees
+                    # with the engine-level statistics.
+                    stats = parallel_engine.last_query_stats
+                    assert stats is not None and stats.snapshot is not None
+                    assert stats.store_hits == _NUM_TABLES
+                    assert stats.rerank_count == _NUM_TABLES
+                    assert stats.parallel is True
+
+    def test_disabled_recorder_stays_empty(self, warm_lake):
+        """With the default no-op recorder the pipeline must not record
+        anything anywhere — and the engine still measures its headline
+        stats (sizes and stage wall-clock) without one."""
+        store, prepared_path, query, _ = warm_lake
+        matcher = JaccardLevenshteinMatcher(
+            **_LIGHT_CONFIGS["jaccardlevenshtein"]
+        )
+        with PreparedStore(prepared_path) as prepared_store:
+            prepare_lake(store, prepared_store, matcher)
+            engine = LakeDiscoveryEngine(
+                matcher=matcher, store=store, prepared_store=prepared_store
+            )
+            engine.query(query, mode="unionable")
+            assert NULL_RECORDER.snapshot().empty
+            stats = engine.last_query_stats
+            assert stats is not None
+            assert stats.snapshot is None  # no recorder was active
+            assert stats.shortlist_size == _NUM_TABLES
+            assert stats.rerank_count == _NUM_TABLES
+            assert stats.total_seconds > 0.0
+            assert stats.store_hits == engine.last_store_hits
 
 
 class TestWorkerWriteThrough:

@@ -278,3 +278,108 @@ class TestCommands:
         assert (tmp_path / "results.json").exists()
         output = capsys.readouterr().out
         assert "Recall@ground-truth" in output
+
+
+class TestObservability:
+    @staticmethod
+    def _built_lake(tmp_path):
+        lake_dir = tmp_path / "lake"
+        lake_dir.mkdir()
+        write_csv(
+            Table("cities", {"city": ["delft", "leiden", "gouda"], "pop": [1, 2, 3]}),
+            lake_dir / "cities.csv",
+        )
+        write_csv(
+            Table("towns", {"town": ["delft", "gouda", "utrecht"], "size": [3, 4, 5]}),
+            lake_dir / "towns.csv",
+        )
+        store = tmp_path / "lake.sketches"
+        assert main(["lake", "build", str(lake_dir), "--store", str(store)]) == 0
+        query_path = write_csv(
+            Table("query", {"place": ["delft", "gouda"], "n": [7, 8]}),
+            tmp_path / "query.csv",
+        )
+        return store, query_path
+
+    def test_query_stats_prints_summary(self, tmp_path, capsys):
+        store, query_path = self._built_lake(tmp_path)
+        capsys.readouterr()
+        exit_code = main(
+            ["lake", "query", str(query_path), "--store", str(store), "--stats"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "query stats:" in output
+        assert "shortlist:" in output and "rerank:" in output
+        assert "counters:" in output
+        assert "lsh.bands_probed" in output
+
+    def test_query_trace_json_is_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        store, query_path = self._built_lake(tmp_path)
+        trace_path = tmp_path / "trace.json"
+        exit_code = main(
+            [
+                "lake",
+                "query",
+                str(query_path),
+                "--store",
+                str(store),
+                "--trace-json",
+                str(trace_path),
+            ]
+        )
+        assert exit_code == 0
+        assert "trace written" in capsys.readouterr().out
+        trace = json.loads(trace_path.read_text(encoding="utf-8"))
+        events = trace["traceEvents"]
+        assert events, "query produced no trace spans"
+        assert all(event["ph"] == "X" for event in events)
+        assert any(event["name"] == "query.shortlist" for event in events)
+        assert trace["otherData"]["counters"]
+
+    def test_lake_stats_reports_both_stores(self, tmp_path, capsys):
+        store, query_path = self._built_lake(tmp_path)
+        # A query with the default write-through prepared store populates it.
+        assert main(["lake", "query", str(query_path), "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["lake", "stats", "--store", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "sketch store" in output
+        assert "tables:" in output and "2" in output
+        assert "prepared store" in output
+        assert "matcher " in output  # per-fingerprint breakdown
+
+    def test_lake_stats_without_prepared_store(self, tmp_path, capsys):
+        store, _ = self._built_lake(tmp_path)
+        capsys.readouterr()
+        assert main(["lake", "stats", "--store", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "no prepared store" in output
+
+    def test_lake_stats_requires_store(self, tmp_path, capsys):
+        assert main(["lake", "stats", "--store", str(tmp_path / "missing")]) == 1
+        assert "run `lake build` first" in capsys.readouterr().err
+
+    def test_verbose_flag_enables_debug_logging(self, tmp_path, capsys):
+        import logging
+
+        store, query_path = self._built_lake(tmp_path)
+        capsys.readouterr()
+        try:
+            assert (
+                main(["-v", "lake", "query", str(query_path), "--store", str(store)])
+                == 0
+            )
+            assert logging.getLogger("repro.lake").level == logging.DEBUG
+            assert logging.getLogger("repro.discovery").level == logging.DEBUG
+        finally:
+            # Undo the CLI's handler/level wiring so other tests stay quiet.
+            root = logging.getLogger("repro")
+            for handler in list(root.handlers):
+                if not isinstance(handler, logging.NullHandler):
+                    root.removeHandler(handler)
+            root.setLevel(logging.NOTSET)
+            logging.getLogger("repro.lake").setLevel(logging.NOTSET)
+            logging.getLogger("repro.discovery").setLevel(logging.NOTSET)
