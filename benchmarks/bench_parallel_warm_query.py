@@ -97,7 +97,7 @@ def _bench(workdir: Path) -> dict[str, object]:
         started = time.perf_counter()
         serial_results = engine.query(query, top_k=10)
         serial_seconds = time.perf_counter() - started
-        assert engine.last_store_hits == engine.last_rerank_count == NUM_CANDIDATES, (
+        assert engine.last_query_stats.store_hits == engine.last_rerank_count == NUM_CANDIDATES, (
             "serial warm query did not serve every candidate from the store"
         )
 
@@ -108,7 +108,7 @@ def _bench(workdir: Path) -> dict[str, object]:
         assert _rankings(first_parallel) == _rankings(serial_results), (
             "parallel-warm ranking diverged from serial-warm"
         )
-        assert engine.last_store_hits == engine.last_rerank_count == NUM_CANDIDATES, (
+        assert engine.last_query_stats.store_hits == engine.last_rerank_count == NUM_CANDIDATES, (
             "parallel warm query re-prepared candidates instead of loading them"
         )
 
@@ -121,7 +121,7 @@ def _bench(workdir: Path) -> dict[str, object]:
             )
             warm_pool_seconds.append(time.perf_counter() - started)
             assert _rankings(repeat_results) == _rankings(serial_results)
-            assert engine.last_store_hits == NUM_CANDIDATES
+            assert engine.last_query_stats.store_hits == NUM_CANDIDATES
         assert engine.rerank_pool is not None and engine.rerank_pool.spawn_count == 1, (
             "repeated queries failed to reuse the persistent pool"
         )

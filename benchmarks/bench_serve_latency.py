@@ -1,0 +1,267 @@
+"""Serve-path benchmark: daemon latency and back-pressure under concurrency.
+
+The PR 7 serving claims, measured against a live ``DiscoveryServer``:
+
+1. **Concurrent serving with exact answers** — ``NUM_CLIENTS`` (>= 8)
+   client threads hammer the daemon over TCP with their own query tables;
+   every served ranking must equal the one-shot engine answer (the same
+   code path ``lake query`` runs) bit-for-bit, including the JSON round
+   trip.  Per-request latency p50/p99 and aggregate QPS are recorded.
+2. **Queue-full rejection, not hang** — a second daemon with a tiny
+   admission queue and an artificially slowed dispatcher takes a burst of
+   concurrent requests; some must bounce with 429 immediately and every
+   request must resolve (answer or rejection) well inside the socket
+   timeout: overload sheds load, it does not wedge.
+
+Results are printed AND written to ``BENCH_PR7.json`` at the repository
+root.  Set ``BENCH_PR7_SMOKE=1`` for the seconds-scale CI smoke run
+(scales shrink; the identity and rejection assertions still hold).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_report
+from repro.data.csv_io import write_csv
+from repro.datasets import tpcdi_prospect_table
+from repro.discovery.prepared import PreparedStore
+from repro.lake import LakeDiscoveryEngine, SketchStore, build_from_paths, prepare_lake
+from repro.matchers.registry import create_matcher
+from repro.serve import DiscoveryServer, QueueFullError, ServeClient, ServeConfig
+from repro.telemetry import quantile
+
+SMOKE = os.environ.get("BENCH_PR7_SMOKE", "") not in ("", "0")
+
+METHOD = "jaccardlevenshtein"
+#: Bounded value sampling keeps the Levenshtein all-pairs cost proportional
+#: to the lake size, not to row count.
+MATCHER_KWARGS = {"sample_size": 20}
+NUM_TABLES = 12 if SMOKE else 60
+TABLE_ROWS = 16 if SMOKE else 120
+NUM_CLIENTS = 8
+QUERIES_PER_CLIENT = 2 if SMOKE else 10
+BURST_CLIENTS = 12
+TOP_K = 5
+
+_OUTPUT_PATH = Path(__file__).parent.parent / "BENCH_PR7.json"
+
+
+def _build_lake(workdir: Path) -> Path:
+    lake_dir = workdir / "lake"
+    lake_dir.mkdir()
+    for i in range(NUM_TABLES):
+        table = tpcdi_prospect_table(num_rows=TABLE_ROWS, seed=100 + i)
+        write_csv(table.rename(f"candidate_{i:03d}"), lake_dir / f"candidate_{i:03d}.csv")
+    store_path = workdir / "lake.sketches"
+    with SketchStore(store_path) as store:
+        build_from_paths(store, sorted(lake_dir.glob("*.csv")))
+        with PreparedStore(workdir / "lake.sketches.prepared") as prepared_store:
+            prepare_lake(store, prepared_store, create_matcher(METHOD, **MATCHER_KWARGS))
+    return store_path
+
+
+def _one_shot_rankings(store_path: Path, queries) -> dict:
+    """What ``lake query`` would answer: the direct warm engine, per query."""
+    reference = {}
+    with SketchStore(store_path) as store:
+        with PreparedStore(
+            store_path.with_name(store_path.name + ".prepared")
+        ) as prepared_store:
+            with LakeDiscoveryEngine(
+                matcher=create_matcher(METHOD, **MATCHER_KWARGS),
+                store=store,
+                prepared_store=prepared_store,
+            ) as engine:
+                for query in queries:
+                    results = engine.query(query, mode="joinable", top_k=TOP_K)
+                    reference[query.name] = [
+                        (r.table_name, r.joinability, r.unionability) for r in results
+                    ]
+    return reference
+
+
+def _latency_phase(store_path: Path, queries, reference) -> dict:
+    config = ServeConfig(
+        store_path=store_path,
+        method=METHOD,
+        method_kwargs=MATCHER_KWARGS,
+        parallel=False,  # single dispatcher; concurrency comes from clients
+        queue_limit=max(32, NUM_CLIENTS * 4),
+    )
+    latencies: list[float] = []
+    latencies_lock = threading.Lock()
+    mismatches: list = []
+    errors: list = []
+    with DiscoveryServer(config) as daemon:
+        host, port = daemon.address
+
+        def run_client(index: int) -> None:
+            query = queries[index % len(queries)]
+            expected = reference[query.name]
+            try:
+                with ServeClient(host=host, port=port, timeout_s=120) as client:
+                    for _ in range(QUERIES_PER_CLIENT):
+                        started = time.perf_counter()
+                        response = client.query(query, mode="joinable", top_k=TOP_K)
+                        elapsed = time.perf_counter() - started
+                        with latencies_lock:
+                            latencies.append(elapsed)
+                        served = [
+                            (r["table_name"], r["joinability"], r["unionability"])
+                            for r in response["results"]
+                        ]
+                        if served != expected:
+                            mismatches.append((query.name, served, expected))
+            except Exception as exc:  # any transport failure fails the bench
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run_client, args=(i,)) for i in range(NUM_CLIENTS)
+        ]
+        wall_started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        wall_seconds = time.perf_counter() - wall_started
+        server_stats = daemon.stats()
+
+    assert not errors, f"client errors under concurrency: {errors[:3]}"
+    assert not mismatches, (
+        f"served rankings diverged from one-shot lake query: {mismatches[:1]}"
+    )
+    total = NUM_CLIENTS * QUERIES_PER_CLIENT
+    assert len(latencies) == total
+    return {
+        "clients": NUM_CLIENTS,
+        "queries_per_client": QUERIES_PER_CLIENT,
+        "total_requests": total,
+        "wall_seconds": round(wall_seconds, 3),
+        "qps": round(total / wall_seconds, 2),
+        "latency_p50_ms": round(quantile(latencies, 0.50) * 1000, 2),
+        "latency_p99_ms": round(quantile(latencies, 0.99) * 1000, 2),
+        "latency_max_ms": round(max(latencies) * 1000, 2),
+        "batches_run": server_stats["serve"]["batches_run"],
+        "coalesced": server_stats["serve"]["coalesced"],
+        "results_identical_to_one_shot": True,
+    }
+
+
+def _queue_full_phase(store_path: Path, query) -> dict:
+    config = ServeConfig(
+        store_path=store_path,
+        method=METHOD,
+        method_kwargs=MATCHER_KWARGS,
+        parallel=False,
+        queue_limit=2,
+        batch_max=1,
+        batch_wait_s=0.001,
+    )
+    daemon = DiscoveryServer(config)
+    original = daemon.batcher.execute
+
+    def slowed_execute(requests):
+        time.sleep(0.05)  # make each batch slow enough to back the burst up
+        return original(requests)
+
+    daemon.batcher.execute = slowed_execute
+    served = 0
+    rejected = 0
+    hung_or_failed: list = []
+    lock = threading.Lock()
+    with daemon:
+        host, port = daemon.address
+
+        def burst_client() -> None:
+            nonlocal served, rejected
+            try:
+                with ServeClient(host=host, port=port, timeout_s=60) as client:
+                    client.query(query, top_k=TOP_K)
+                with lock:
+                    served += 1
+            except QueueFullError:
+                with lock:
+                    rejected += 1
+            except Exception as exc:
+                hung_or_failed.append(exc)
+
+        threads = [threading.Thread(target=burst_client) for _ in range(BURST_CLIENTS)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        burst_seconds = time.perf_counter() - started
+
+    assert not hung_or_failed, f"burst requests hung or failed: {hung_or_failed[:3]}"
+    assert served + rejected == BURST_CLIENTS
+    assert rejected >= 1, "tiny queue under a burst must reject at least one request"
+    assert served >= 1, "back-pressure must shed load, not refuse everything"
+    return {
+        "burst_clients": BURST_CLIENTS,
+        "queue_limit": config.queue_limit,
+        "served": served,
+        "rejected_429": rejected,
+        "burst_wall_seconds": round(burst_seconds, 3),
+        "all_requests_resolved": True,
+    }
+
+
+def test_serve_latency_benchmark():
+    workdir = Path(tempfile.mkdtemp(prefix="bench_pr7_"))
+    try:
+        store_path = _build_lake(workdir)
+        queries = [
+            tpcdi_prospect_table(num_rows=TABLE_ROWS, seed=500 + i).rename(f"query_{i}")
+            for i in range(4)
+        ]
+        reference = _one_shot_rankings(store_path, queries)
+        latency = _latency_phase(store_path, queries, reference)
+        backpressure = _queue_full_phase(store_path, queries[0])
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    payload = {
+        "benchmark": "bench_serve_latency",
+        "smoke": SMOKE,
+        "method": METHOD,
+        "lake_tables": NUM_TABLES,
+        "table_rows": TABLE_ROWS,
+        "cpu_count": os.cpu_count(),
+        "concurrent_latency": latency,
+        "queue_full_backpressure": backpressure,
+    }
+    _OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    lines = [
+        f"workload:    {NUM_TABLES} tables x {TABLE_ROWS} rows, "
+        f"{NUM_CLIENTS} clients x {QUERIES_PER_CLIENT} queries "
+        f"(cpus={payload['cpu_count']}, smoke={SMOKE})",
+        f"latency:     p50 {latency['latency_p50_ms']:8.1f} ms   "
+        f"p99 {latency['latency_p99_ms']:8.1f} ms   "
+        f"max {latency['latency_max_ms']:8.1f} ms",
+        f"throughput:  {latency['qps']:6.1f} queries/s over "
+        f"{latency['wall_seconds']:.2f} s "
+        f"({latency['batches_run']} batches, {latency['coalesced']} coalesced)",
+        f"back-pressure: burst of {backpressure['burst_clients']} vs queue of "
+        f"{backpressure['queue_limit']}: {backpressure['served']} served, "
+        f"{backpressure['rejected_429']} rejected 429 in "
+        f"{backpressure['burst_wall_seconds']:.2f} s (none hung)",
+        "served rankings identical to one-shot lake query",
+        f"written to   {_OUTPUT_PATH.name}",
+    ]
+    print_report(
+        "Discovery daemon — concurrent latency + admission control (PR 7)",
+        "\n".join(lines),
+    )
+
+
+if __name__ == "__main__":
+    test_serve_latency_benchmark()

@@ -147,7 +147,7 @@ def _bench(workdir: Path) -> dict[str, object]:
     with engine:
         # Warm-up: writes the query's own payload through, touches caches.
         engine.query(query, top_k=10)
-        assert engine.last_store_hits == engine.last_rerank_count == NUM_CANDIDATES, (
+        assert engine.last_query_stats.store_hits == engine.last_rerank_count == NUM_CANDIDATES, (
             "warm-up query did not serve every candidate from the store"
         )
 

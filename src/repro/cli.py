@@ -14,7 +14,10 @@ Subcommands:
   maintain a persistent column-sketch store over a directory of CSV files
   (optionally sketching in a process pool), pre-warm the prepared-candidate
   store for a matcher, run index-accelerated discovery queries against it,
-  and inspect store-level statistics.
+  and inspect store-level statistics;
+* ``lake serve`` — run the long-lived discovery daemon: one warm engine +
+  rerank pool behind ``/query`` / ``/stats`` / ``/healthz`` over HTTP
+  (TCP or a unix socket), with bounded admission and live store reopen.
 
 Observability flags: ``-v/--verbose`` turns on logging for the lake and
 discovery paths (``-vv`` for everything); ``lake query --stats`` prints a
@@ -167,6 +170,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the prepared-candidate store (the PR 3 cold path)",
     )
     query.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-query deadline (the same one `lake serve` enforces per "
+        "request); an expired query exits with status 124",
+    )
+    query.add_argument(
         "--stats",
         action="store_true",
         help="print per-stage latencies (p50/p95/p99) and pipeline counters "
@@ -191,6 +202,69 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="prepared-candidate store path (default: <store>.prepared)",
+    )
+
+    serve = lake_commands.add_parser(
+        "serve",
+        help="run the discovery daemon (/query /stats /healthz over HTTP)",
+    )
+    serve.add_argument("--store", type=Path, default=Path("lake.sketches"), help="store path")
+    serve.add_argument("--method", default="ComaSchema", help="registered matcher name")
+    serve.add_argument(
+        "--prepared-store",
+        type=Path,
+        default=None,
+        help="prepared-candidate store path (default: <store>.prepared)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="TCP port (0 for an ephemeral one)"
+    )
+    serve.add_argument(
+        "--unix-socket",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="serve on this unix-domain socket instead of TCP",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        help="bounded admission queue size; requests beyond it get 429",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=8,
+        help="micro-batch size: concurrent queries scored per engine pass",
+    )
+    serve.add_argument(
+        "--timeout-s",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="default per-request deadline (clients can override per query; "
+        "expired requests get 504)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="rerank process-pool size shared by all requests",
+    )
+    serve.add_argument(
+        "--serial",
+        action="store_true",
+        help="rerank inline in the dispatcher instead of the process pool",
+    )
+    serve.add_argument(
+        "--reopen-poll-s",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="how often to poll the stores for a writer cycle (generation "
+        "change triggers a graceful engine reopen)",
     )
 
     return parser
@@ -368,6 +442,47 @@ def _command_lake_query(
     no_prepared_store: bool,
     show_stats: bool = False,
     trace_json: Path | None = None,
+    timeout_s: float | None = None,
+) -> int:
+    from repro.serve.admission import DeadlineExpired, run_with_deadline
+
+    # The whole query (store opens included) runs under the deadline in a
+    # worker thread: SQLite connections are thread-bound, so the thread
+    # that opens the stores must be the one that queries and closes them.
+    try:
+        return run_with_deadline(
+            lambda: _run_lake_query(
+                query_csv,
+                store_path,
+                mode,
+                method,
+                top,
+                parallel,
+                workers,
+                prepared_path,
+                no_prepared_store,
+                show_stats,
+                trace_json,
+            ),
+            timeout_s,
+        )
+    except DeadlineExpired as exc:
+        print(str(exc), file=sys.stderr)
+        return 124
+
+
+def _run_lake_query(
+    query_csv: Path,
+    store_path: Path,
+    mode: str,
+    method: str,
+    top: int,
+    parallel: bool,
+    workers: int | None,
+    prepared_path: Path | None,
+    no_prepared_store: bool,
+    show_stats: bool = False,
+    trace_json: Path | None = None,
 ) -> int:
     from repro.discovery.prepared import PreparedStore
     from repro.lake import LakeDiscoveryEngine, SketchStore
@@ -451,6 +566,44 @@ def _command_lake_query(
     return 0
 
 
+def _command_lake_serve(args: argparse.Namespace) -> int:
+    from repro.serve import DiscoveryServer, ServeConfig
+
+    if not args.store.exists():
+        print(f"no sketch store at {args.store}; run `lake build` first", file=sys.stderr)
+        return 1
+    config = ServeConfig(
+        store_path=args.store,
+        method=args.method,
+        prepared_path=args.prepared_store,
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        queue_limit=args.queue_limit,
+        batch_max=args.batch_max,
+        default_timeout_s=args.timeout_s,
+        parallel=not args.serial,
+        max_workers=args.workers,
+        reopen_poll_s=args.reopen_poll_s,
+    )
+    try:
+        server = DiscoveryServer(config).start()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.unix_socket is not None:
+        where = f"unix:{args.unix_socket}"
+    else:
+        host, port = server.address
+        where = f"http://{host}:{port}"
+    print(
+        f"serving {args.store} with {args.method} on {where} "
+        f"(queue limit {args.queue_limit}, batch max {args.batch_max}; Ctrl-C to stop)"
+    )
+    server.run_forever()
+    return 0
+
+
 def _command_lake_stats(store_path: Path, prepared_path: Path | None) -> int:
     from repro.discovery.prepared import PreparedStore
     from repro.lake import SketchStore
@@ -525,6 +678,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.lake_command == "stats":
             return _command_lake_stats(args.store, args.prepared_store)
+        if args.lake_command == "serve":
+            return _command_lake_serve(args)
         return _command_lake_query(
             args.query_csv,
             args.store,
@@ -537,6 +692,7 @@ def main(argv: list[str] | None = None) -> int:
             args.no_prepared_store,
             show_stats=args.stats,
             trace_json=args.trace_json,
+            timeout_s=args.timeout_s,
         )
     parser.error(f"unknown command {args.command!r}")
     return 2

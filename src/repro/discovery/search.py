@@ -45,6 +45,7 @@ import os
 import pickle
 import sqlite3
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -64,8 +65,10 @@ __all__ = [
     "DiscoveryEngine",
     "PairScorer",
     "RerankPool",
+    "RerankJob",
     "WorkerCandidateSource",
     "prune_then_rerank",
+    "rerank_jobs",
     "fan_out_names",
     "MIN_FAN_OUT",
     "sort_discovery_results",
@@ -336,18 +339,29 @@ class RerankPool:
 #: persistent pool's workers know when to re-unpickle.
 _QUERY_TOKENS = itertools.count()
 
-# Per-worker cache for the query state (scorer + prepared query), keyed by
-# its token: every chunk task carries the pickled state, but a worker
-# unpickles it only once per query.
-_WORKER_QUERY_STATE: Optional[tuple[str, PairScorer, PreparedTable]] = None
+#: How many queries' shipped state one worker keeps unpickled.  A serving
+#: batch interleaves chunks from several concurrent queries on the same
+#: warm workers; a single-slot cache would thrash (one unpickle per chunk
+#: instead of one per query), so the cache is a small per-worker LRU.
+_WORKER_STATE_SLOTS = 8
+
+# Per-worker LRU cache for query state (scorer + prepared query), keyed by
+# token: every chunk task carries the pickled state, but a worker unpickles
+# each query's state at most once while it stays in the cache.
+_WORKER_QUERY_STATES: "OrderedDict[str, tuple[PairScorer, PreparedTable]]" = (
+    OrderedDict()
+)
 
 
 def _load_query_state(token: str, blob: bytes) -> tuple[PairScorer, PreparedTable]:
-    global _WORKER_QUERY_STATE
-    if _WORKER_QUERY_STATE is not None and _WORKER_QUERY_STATE[0] == token:
-        return _WORKER_QUERY_STATE[1], _WORKER_QUERY_STATE[2]
+    state = _WORKER_QUERY_STATES.get(token)
+    if state is not None:
+        _WORKER_QUERY_STATES.move_to_end(token)
+        return state
     scorer, query_prepared = pickle.loads(blob)
-    _WORKER_QUERY_STATE = (token, scorer, query_prepared)
+    _WORKER_QUERY_STATES[token] = (scorer, query_prepared)
+    while len(_WORKER_QUERY_STATES) > _WORKER_STATE_SLOTS:
+        _WORKER_QUERY_STATES.popitem(last=False)
     return scorer, query_prepared
 
 
@@ -521,29 +535,61 @@ def _chunked(items: list, workers: int) -> list[list]:
     return [items[start : start + size] for start in range(0, len(items), size)]
 
 
-def _parallel_rerank(
-    scorer: PairScorer,
-    query_prepared: PreparedTable,
-    items: list,
-    source: Optional[WorkerCandidateSource],
-    pool: Optional[RerankPool],
-    max_workers: Optional[int],
-) -> tuple[list[DiscoveryResult], int]:
-    """Fan one rerank out over batched chunks; returns (results, store hits).
+@dataclass
+class RerankJob:
+    """One query's rerank work, ready to fan out over pool workers.
 
-    When a real telemetry recorder is active in the parent, every task
-    carries a submit timestamp (for worker-side queue-wait measurement) and
-    every worker returns a stats snapshot, merged here — the whole parallel
-    rerank lands in one recorder as if it had run in-process.
+    The unit of :func:`rerank_jobs`: the picklable pair state (scorer +
+    prepared query) plus the items to score — table *names* when ``source``
+    is set (workers resolve the chunk themselves from the WAL stores), else
+    parent-resolved ``Table``/``PreparedTable`` candidates.
+    """
+
+    scorer: PairScorer
+    query_prepared: PreparedTable
+    items: list
+    source: Optional[WorkerCandidateSource] = None
+
+
+def rerank_jobs(
+    jobs: Sequence[RerankJob],
+    pool: Optional[RerankPool] = None,
+    max_workers: Optional[int] = None,
+) -> list[tuple[list[DiscoveryResult], int]]:
+    """Fan several queries' reranks out over one pool *together*.
+
+    This is the micro-batching primitive behind ``lake serve``: every job's
+    chunk tasks are submitted in a single batch, so the pool's workers stay
+    saturated across query boundaries instead of draining between one
+    query's last chunk and the next query's first.  Per job the semantics
+    match the single-query parallel rerank exactly — its own query token,
+    its own state blob (unpickled at most once per worker via the
+    worker-side LRU), its own optional :class:`WorkerCandidateSource`.
+
+    Chunk sizing splits the pool across jobs (``workers / len(jobs)``
+    chunks-per-worker per job, at least one chunk each) so a batch of B
+    queries produces about as many tasks as one query would alone.
+
+    Returns ``(results, store hits)`` per job, in job order; each job's
+    ``source.store_hits`` (when it has a source) is also updated.  When a
+    real telemetry recorder is active, tasks carry submit timestamps and
+    worker snapshots are merged back, exactly as in the single-query path.
     """
     recorder = telemetry.get_recorder()
-    state_blob = pickle.dumps((scorer, query_prepared), protocol=4)
-    token = f"{os.getpid()}-{next(_QUERY_TOKENS)}"
     workers = pool.workers if pool is not None else (max_workers or os.cpu_count() or 1)
+    per_job_workers = max(1, math.ceil(workers / max(1, len(jobs))))
     epoch = time.perf_counter() if recorder.enabled else None
-    tasks: list[_RerankChunk] = [
-        (token, state_blob, source, chunk, epoch) for chunk in _chunked(items, workers)
-    ]
+    tasks: list[_RerankChunk] = []
+    spans: list[tuple[int, int]] = []
+    for job in jobs:
+        state_blob = pickle.dumps((job.scorer, job.query_prepared), protocol=4)
+        token = f"{os.getpid()}-{next(_QUERY_TOKENS)}"
+        start = len(tasks)
+        tasks.extend(
+            (token, state_blob, job.source, chunk, epoch)
+            for chunk in _chunked(job.items, per_job_workers)
+        )
+        spans.append((start, len(tasks)))
     if pool is not None:
         outcomes = pool.map(_rerank_worker_chunk, tasks)
     else:
@@ -554,15 +600,41 @@ def _parallel_rerank(
             mp_context=multiprocessing.get_context("spawn"),
         ) as executor:
             outcomes = list(executor.map(_rerank_worker_chunk, tasks))
-    results: list[DiscoveryResult] = []
-    store_hits = 0
-    for chunk_results, chunk_hits, chunk_snapshot in outcomes:
-        results.extend(chunk_results)
-        store_hits += chunk_hits
-        if chunk_snapshot is not None:
-            recorder.merge(chunk_snapshot)
     telemetry.count("rerank_pool.chunks", len(tasks))
-    return results, store_hits
+    if len(jobs) > 1:
+        telemetry.count("rerank_pool.batched_jobs", len(jobs))
+    per_job: list[tuple[list[DiscoveryResult], int]] = []
+    for job, (start, end) in zip(jobs, spans):
+        results: list[DiscoveryResult] = []
+        store_hits = 0
+        for chunk_results, chunk_hits, chunk_snapshot in outcomes[start:end]:
+            results.extend(chunk_results)
+            store_hits += chunk_hits
+            if chunk_snapshot is not None:
+                recorder.merge(chunk_snapshot)
+        if job.source is not None:
+            job.source.store_hits = store_hits
+        per_job.append((results, store_hits))
+    return per_job
+
+
+def _parallel_rerank(
+    scorer: PairScorer,
+    query_prepared: PreparedTable,
+    items: list,
+    source: Optional[WorkerCandidateSource],
+    pool: Optional[RerankPool],
+    max_workers: Optional[int],
+) -> tuple[list[DiscoveryResult], int]:
+    """Fan one rerank out over batched chunks; returns (results, store hits).
+
+    The single-query parameterisation of :func:`rerank_jobs`.
+    """
+    return rerank_jobs(
+        [RerankJob(scorer, query_prepared, items, source)],
+        pool=pool,
+        max_workers=max_workers,
+    )[0]
 
 
 def prune_then_rerank(

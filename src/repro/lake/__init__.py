@@ -18,7 +18,7 @@ compact per-column sketches first.  This package provides that layer:
 """
 
 from repro.lake.build import BuildReport, PrepareReport, build_from_paths, prepare_lake
-from repro.lake.engine import LakeDiscoveryEngine
+from repro.lake.engine import BatchQueryResult, LakeDiscoveryEngine
 from repro.lake.index import CandidateTable, LakeIndex, LSHParams
 from repro.lake.profiles import (
     ColumnSketch,
@@ -27,7 +27,7 @@ from repro.lake.profiles import (
     sketch_table,
     table_content_hash,
 )
-from repro.lake.store import SketchStore
+from repro.lake.store import SketchStore, store_generation
 
 __all__ = [
     "ColumnSketch",
@@ -36,10 +36,12 @@ __all__ = [
     "sketch_table",
     "table_content_hash",
     "SketchStore",
+    "store_generation",
     "LSHParams",
     "CandidateTable",
     "LakeIndex",
     "LakeDiscoveryEngine",
+    "BatchQueryResult",
     "BuildReport",
     "PrepareReport",
     "build_from_paths",

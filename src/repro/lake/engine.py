@@ -36,8 +36,9 @@ from __future__ import annotations
 import csv
 import logging
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.data.csv_io import read_csv
 from repro.data.table import Table
@@ -50,10 +51,13 @@ from repro.discovery.search import (
     DatasetRepository,
     PairScorer,
     DiscoveryResult,
+    RerankJob,
     RerankPool,
     WorkerCandidateSource,
     fan_out_names,
     prune_then_rerank,
+    rerank_jobs,
+    sort_discovery_results,
 )
 from repro.lake.index import CandidateTable, LakeIndex, LSHParams
 from repro.lake.profiles import sketch_table
@@ -63,9 +67,17 @@ from repro.telemetry import recorder as telemetry
 from repro.telemetry.recorder import TelemetryRecorder
 from repro.telemetry.stats import QueryStats
 
-__all__ = ["LakeDiscoveryEngine"]
+__all__ = ["LakeDiscoveryEngine", "BatchQueryResult"]
 
 logger = logging.getLogger(__name__)
+
+
+@dataclass
+class BatchQueryResult:
+    """One query's outcome within a :meth:`LakeDiscoveryEngine.query_many` batch."""
+
+    results: list[DiscoveryResult]
+    stats: QueryStats
 
 
 @dataclass
@@ -106,6 +118,11 @@ class LakeDiscoveryEngine:
         ``parallel=True`` query and keeps it warm for later queries —
         release it with :meth:`close` (engines never close pools that were
         handed to them).
+    owns_stores:
+        When True, :meth:`close` also closes :attr:`store` and
+        :attr:`prepared_store`.  Off by default (stores usually belong to
+        whoever constructed them); the serving daemon turns it on so a
+        store-generation swap can retire the whole engine in one call.
     """
 
     matcher: BaseMatcher
@@ -117,6 +134,7 @@ class LakeDiscoveryEngine:
     prepared_cache: Optional[PreparedTableCache] = None
     prepared_store: Optional[PreparedStore] = None
     rerank_pool: Optional[RerankPool] = None
+    owns_stores: bool = False
     #: How many candidates the matcher actually reranked in the last
     #: :meth:`query` (before top-k truncation) — the pruning statistic.
     last_rerank_count: int = field(default=0, repr=False, init=False)
@@ -128,6 +146,7 @@ class LakeDiscoveryEngine:
     _index: Optional[LakeIndex] = field(default=None, repr=False, init=False)
     _index_version: int = field(default=-1, repr=False, init=False)
     _owns_pool: bool = field(default=False, repr=False, init=False)
+    _closed: bool = field(default=False, repr=False, init=False)
 
     @property
     def last_store_hits(self) -> int:
@@ -137,23 +156,39 @@ class LakeDiscoveryEngine:
         from the prepared store (no CSV read, no prepare).  Prefer
         ``engine.last_query_stats.store_hits``.
         """
+        warnings.warn(
+            "LakeDiscoveryEngine.last_store_hits is deprecated; read "
+            "engine.last_query_stats.store_hits instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._store_hits
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release the engine-owned rerank pool (if any).
+        """Release the engine-owned rerank pool (and owned stores).
 
-        Stores are left open — they belong to whoever constructed them.  A
-        pool passed in by the caller is likewise left running (it may serve
-        other engines); only a pool this engine lazily created is shut
-        down.
+        Idempotent: a second :meth:`close` — including the implicit one from
+        ``__exit__`` after an explicit close inside the ``with`` block — is
+        a no-op, so teardown paths can never trip the stores' closed-store
+        guard.  A pool passed in by the caller is left running (it may serve
+        other engines); only a pool this engine lazily created is shut down.
+        Stores are closed only when :attr:`owns_stores` is set — by default
+        they belong to whoever constructed them.
         """
+        if self._closed:
+            return
+        self._closed = True
         if self.rerank_pool is not None and self._owns_pool:
             self.rerank_pool.close()
             self.rerank_pool = None
             self._owns_pool = False
+        if self.owns_stores:
+            if self.prepared_store is not None:
+                self.prepared_store.close()
+            self.store.close()
 
     def __enter__(self) -> "LakeDiscoveryEngine":
         return self
@@ -171,6 +206,10 @@ class LakeDiscoveryEngine:
         if self.rerank_pool is None:
             self.rerank_pool = RerankPool(max_workers=max_workers)
             self._owns_pool = True
+            # Querying again after close() revives the engine: the fresh
+            # pool must be released by the *next* close, not skipped by the
+            # idempotence guard.
+            self._closed = False
         return self.rerank_pool
 
     # ------------------------------------------------------------------ #
@@ -384,6 +423,51 @@ class LakeDiscoveryEngine:
         )
         return results
 
+    def _prepared_fingerprint(self) -> Optional[str]:
+        """The matcher fingerprint for prepared-store lookups, or ``None``.
+
+        The prepared-store fast path hands fully prepared candidates to the
+        rerank; matchers that insist on their legacy get_matches override
+        consume raw tables, so the fast path is skipped for them.
+        """
+        if self.prepared_store is not None and not self.matcher.prefers_legacy_get_matches():
+            return self.matcher.fingerprint()
+        return None
+
+    def _worker_source_for(
+        self,
+        query_name: str,
+        names: list[str],
+        repository: Optional[DatasetRepository],
+        parallel: bool,
+        fingerprint: Optional[str],
+    ) -> Optional[WorkerCandidateSource]:
+        """Arm the fully parallel warm path for one query, when eligible.
+
+        Workers pull payloads from the stores themselves.  Needs file-backed
+        stores (in-memory SQLite cannot cross processes), no repository
+        (workers cannot see it), and a shortlist the rerank will actually
+        fan out — otherwise the caller falls back to the serial resolver,
+        which must keep its prefetch.  The fan-out decision is
+        `prune_then_rerank`'s; both sides evaluate the one shared predicate.
+        """
+        if (
+            parallel
+            and fingerprint is not None
+            and repository is None
+            and len(fan_out_names(query_name, names)) >= MIN_FAN_OUT
+            and self.store.path != ":memory:"
+            and self.prepared_store.path != ":memory:"
+        ):
+            return WorkerCandidateSource(
+                sketch_store_path=self.store.path,
+                prepared_store_path=self.prepared_store.path,
+                fingerprint=fingerprint,
+                max_entries=self.prepared_store.max_entries,
+                max_bytes=self.prepared_store.max_bytes,
+            )
+        return None
+
     def _run_query(
         self,
         query: Table,
@@ -400,38 +484,10 @@ class LakeDiscoveryEngine:
         shortlist_seconds = time.perf_counter() - shortlist_start
         names = [entry.table_name for entry in shortlist]
         self._store_hits = 0
-        # The prepared-store fast path hands fully prepared candidates to the
-        # rerank; matchers that insist on their legacy get_matches override
-        # consume raw tables, so the fast path is skipped for them.
-        fingerprint = (
-            self.matcher.fingerprint()
-            if self.prepared_store is not None
-            and not self.matcher.prefers_legacy_get_matches()
-            else None
+        fingerprint = self._prepared_fingerprint()
+        worker_source = self._worker_source_for(
+            query.name, names, repository, parallel, fingerprint
         )
-        # Fully parallel warm path: workers pull payloads from the stores
-        # themselves.  Needs file-backed stores (in-memory SQLite cannot
-        # cross processes), no repository (workers cannot see it), and a
-        # shortlist the rerank will actually fan out — otherwise it falls
-        # back to the serial resolver, which must keep its prefetch.  The
-        # fan-out decision is `prune_then_rerank`'s; both sides evaluate the
-        # one shared predicate.
-        worker_source = None
-        if (
-            parallel
-            and fingerprint is not None
-            and repository is None
-            and len(fan_out_names(query.name, names)) >= MIN_FAN_OUT
-            and self.store.path != ":memory:"
-            and self.prepared_store.path != ":memory:"
-        ):
-            worker_source = WorkerCandidateSource(
-                sketch_store_path=self.store.path,
-                prepared_store_path=self.prepared_store.path,
-                fingerprint=fingerprint,
-                max_entries=self.prepared_store.max_entries,
-                max_bytes=self.prepared_store.max_bytes,
-            )
         prefetched: dict[str, PreparedTable] = {}
         if fingerprint is not None and worker_source is None:
             prefetched = self._prefetch_prepared(
@@ -457,3 +513,132 @@ class LakeDiscoveryEngine:
             self._store_hits = worker_source.store_hits
         self.last_rerank_count = rerank_count
         return results, (shortlist_seconds, rerank_seconds), len(names)
+
+    def query_many(
+        self,
+        queries: Sequence[Table],
+        repository: Optional[DatasetRepository] = None,
+        mode: str = "joinable",
+        top_k: Optional[int] = None,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> list[BatchQueryResult]:
+        """Run several queries as one batch, sharing the rerank fan-out.
+
+        The serving primitive behind ``lake serve``'s micro-batcher: each
+        query is shortlisted and prepared as :meth:`query` would, but every
+        query eligible for the fully parallel warm path contributes its
+        chunk tasks to **one** :func:`~repro.discovery.search.rerank_jobs`
+        submission, so the shared :class:`RerankPool` stays saturated across
+        query boundaries.  Queries that cannot fan out (tiny shortlists,
+        in-memory stores, legacy matchers, ``parallel=False``) run serially
+        inside the batch, through the exact same
+        :func:`~repro.discovery.search.prune_then_rerank` core as
+        :meth:`query` — rankings can never differ between the two entry
+        points.
+
+        Returns one :class:`BatchQueryResult` (results + stats) per query,
+        in input order.  Per-query stats of pooled queries report the shared
+        fan-out wall clock as their rerank time (the batch reranks as one
+        unit); unlike :meth:`query`, no per-query child recorder is created
+        — callers serving traffic keep one long-lived recorder active and
+        read merged counters from it.
+        """
+        scorer = PairScorer(matcher=self.matcher, union_threshold=self.union_threshold)
+        outcomes: list[Optional[BatchQueryResult]] = [None] * len(queries)
+        jobs: list[RerankJob] = []
+        job_meta: list[tuple[int, float, int]] = []
+        for position, query in enumerate(queries):
+            shortlist_start = time.perf_counter()
+            with telemetry.span("query.shortlist", table=query.name):
+                shortlist = self.shortlist(query, top_k=top_k)
+            shortlist_seconds = time.perf_counter() - shortlist_start
+            names = [entry.table_name for entry in shortlist]
+            fingerprint = self._prepared_fingerprint()
+            worker_source = self._worker_source_for(
+                query.name, names, repository, parallel, fingerprint
+            )
+            if worker_source is not None:
+                with telemetry.span("discovery.prepare_query", table=query.name):
+                    provider = self._prepared_provider()
+                    if provider is not None:
+                        query_prepared = provider.prepare(self.matcher, query)
+                    else:
+                        query_prepared = self.matcher.prepare(query)
+                jobs.append(
+                    RerankJob(
+                        scorer,
+                        query_prepared,
+                        fan_out_names(query.name, names),
+                        worker_source,
+                    )
+                )
+                job_meta.append((position, shortlist_seconds, len(names)))
+                continue
+            # Serial fallback inside the batch: identical to the one-query
+            # serial path (prefetch included), so results cannot drift.
+            self._store_hits = 0
+            prefetched: dict[str, PreparedTable] = {}
+            if fingerprint is not None:
+                prefetched = self._prefetch_prepared(
+                    names, query.name, repository, fingerprint
+                )
+            rerank_start = time.perf_counter()
+            results, rerank_count = prune_then_rerank(
+                query,
+                names,
+                lambda name: self._resolve_candidate(name, repository, prefetched),
+                scorer,
+                mode=mode,
+                top_k=top_k,
+                parallel=False,
+                prepared_cache=self._prepared_provider(),
+            )
+            rerank_seconds = time.perf_counter() - rerank_start
+            outcomes[position] = BatchQueryResult(
+                results=results,
+                stats=QueryStats(
+                    query_name=query.name,
+                    mode=mode,
+                    parallel=False,
+                    shortlist_size=len(names),
+                    rerank_count=rerank_count,
+                    store_hits=self._store_hits,
+                    total_seconds=shortlist_seconds + rerank_seconds,
+                    shortlist_seconds=shortlist_seconds,
+                    rerank_seconds=rerank_seconds,
+                ),
+            )
+        if jobs:
+            pool = self._ensure_rerank_pool(max_workers)
+            rerank_start = time.perf_counter()
+            with telemetry.span("discovery.batch_score", queries=len(jobs)):
+                job_outcomes = rerank_jobs(jobs, pool=pool)
+            batch_rerank_seconds = time.perf_counter() - rerank_start
+            for (position, shortlist_seconds, shortlist_size), (
+                results,
+                store_hits,
+            ) in zip(job_meta, job_outcomes):
+                sort_discovery_results(results, mode)
+                rerank_count = len(results)
+                truncated = results[:top_k] if top_k is not None else results
+                outcomes[position] = BatchQueryResult(
+                    results=truncated,
+                    stats=QueryStats(
+                        query_name=queries[position].name,
+                        mode=mode,
+                        parallel=True,
+                        shortlist_size=shortlist_size,
+                        rerank_count=rerank_count,
+                        store_hits=store_hits,
+                        total_seconds=shortlist_seconds + batch_rerank_seconds,
+                        shortlist_seconds=shortlist_seconds,
+                        rerank_seconds=batch_rerank_seconds,
+                    ),
+                )
+        completed = [outcome for outcome in outcomes if outcome is not None]
+        if completed:
+            self.last_query_stats = completed[-1].stats
+            self.last_rerank_count = completed[-1].stats.rerank_count
+            self._store_hits = completed[-1].stats.store_hits
+        return completed

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import logging
+import sqlite3
 from pathlib import Path
 from typing import Iterator, Optional, Sequence, Union
 
@@ -43,7 +44,43 @@ from repro.telemetry import recorder as telemetry
 
 logger = logging.getLogger(__name__)
 
-__all__ = ["SketchStore"]
+__all__ = ["SketchStore", "store_generation"]
+
+#: The generation of a store file: identity of the inode plus the monotone
+#: store version inside it.
+StoreGeneration = tuple[int, int, int]
+
+
+def store_generation(path: Union[str, Path]) -> Optional[StoreGeneration]:
+    """The ``(st_dev, st_ino, version)`` generation of the store at *path*.
+
+    A long-lived reader (the serve daemon) polls this to detect writer
+    cycles: a rebuilt store is a **new file** (build tools write then
+    rename, changing the inode) and an in-place update bumps the monotone
+    ``version`` row — either way the tuple changes.  The check opens a
+    transient read-only connection so it never interferes with the store's
+    own per-process connection cache, and returns ``None`` when *path* does
+    not exist or is not (yet) a readable sketch/prepared store — e.g. a
+    writer mid-rename.
+    """
+    resolved = Path(path)
+    try:
+        stat = resolved.stat()
+    except OSError:
+        return None
+    try:
+        connection = sqlite3.connect(f"file:{resolved}?mode=ro", uri=True)
+    except sqlite3.Error:
+        return None
+    try:
+        row = connection.execute(
+            "SELECT value FROM meta WHERE key = 'version'"
+        ).fetchone()
+    except sqlite3.Error:
+        return None
+    finally:
+        connection.close()
+    return (stat.st_dev, stat.st_ino, int(row[0]) if row else 0)
 
 _SCHEMA_VERSION = 1
 

@@ -1,0 +1,74 @@
+"""Long-lived serving layer over the lake discovery pipeline.
+
+The one-shot ``lake query`` CLI pays the full cold-start bill on every
+invocation: process launch, store open, rerank-pool spawn.  This package
+keeps all of that warm in a daemon (``lake serve``) and admits many
+concurrent queries over HTTP (TCP or a unix socket, stdlib only):
+
+* :mod:`repro.serve.protocol` — the JSON wire format: request decoding
+  with validation, response encoding, and the content-hash cache key the
+  batcher coalesces identical concurrent requests on;
+* :mod:`repro.serve.admission` — back-pressure primitives: per-request
+  :class:`Deadline`, the bounded :class:`AdmissionQueue` (full ⇒ reject
+  with 429, never hang), and :func:`run_with_deadline` for the one-shot
+  CLI path;
+* :mod:`repro.serve.batcher` — the single dispatcher thread that drains
+  the admission queue into micro-batches; **all** engine and store access
+  happens on this thread (SQLite connections are thread-bound);
+* :mod:`repro.serve.server` — :class:`DiscoveryServer`: one warm
+  :class:`~repro.lake.engine.LakeDiscoveryEngine` + shared
+  :class:`~repro.discovery.search.RerankPool` behind ``/query``,
+  ``/stats`` and ``/healthz``, with graceful store reopen when a writer
+  cycles the on-disk stores;
+* :mod:`repro.serve.client` — :class:`ServeClient`, the thin HTTP client
+  the benchmarks (and tests) drive the daemon with.
+"""
+
+from repro.serve.admission import (
+    AdmissionQueue,
+    Deadline,
+    DeadlineExpired,
+    QueueFull,
+    Ticket,
+    run_with_deadline,
+)
+from repro.serve.batcher import MicroBatcher
+from repro.serve.client import (
+    DeadlineExpiredError,
+    QueueFullError,
+    ServeClient,
+    ServeError,
+)
+from repro.serve.protocol import (
+    ProtocolError,
+    QueryRequest,
+    decode_query_request,
+    encode_query_request,
+    request_cache_key,
+    response_to_dict,
+    table_to_dict,
+)
+from repro.serve.server import DiscoveryServer, ServeConfig
+
+__all__ = [
+    "AdmissionQueue",
+    "Deadline",
+    "DeadlineExpired",
+    "QueueFull",
+    "Ticket",
+    "run_with_deadline",
+    "MicroBatcher",
+    "ProtocolError",
+    "QueryRequest",
+    "decode_query_request",
+    "encode_query_request",
+    "request_cache_key",
+    "response_to_dict",
+    "table_to_dict",
+    "DiscoveryServer",
+    "ServeConfig",
+    "ServeClient",
+    "ServeError",
+    "QueueFullError",
+    "DeadlineExpiredError",
+]

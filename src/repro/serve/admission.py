@@ -1,0 +1,165 @@
+"""Admission control: deadlines, the bounded queue, and back-pressure.
+
+The daemon's contract under overload is *reject, never hang*: a request
+either gets a seat in the bounded admission queue or an immediate 429 —
+the queue cannot grow without bound, and a request that waited past its
+deadline is answered 504 whether it is still queued or already mid-rerank.
+
+Everything here is engine-agnostic plumbing: a :class:`Ticket` couples one
+decoded request to the :class:`~concurrent.futures.Future` its handler
+thread waits on; the dispatcher (:mod:`repro.serve.batcher`) is the only
+consumer.  :func:`run_with_deadline` reuses the same deadline semantics
+for the one-shot ``lake query --timeout-s`` CLI path.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, TypeVar
+
+from repro.serve.protocol import QueryRequest
+
+__all__ = [
+    "Deadline",
+    "DeadlineExpired",
+    "QueueFull",
+    "Ticket",
+    "AdmissionQueue",
+    "run_with_deadline",
+]
+
+T = TypeVar("T")
+
+
+class QueueFull(Exception):
+    """The admission queue is at capacity — rendered as HTTP 429."""
+
+
+class DeadlineExpired(Exception):
+    """The request's deadline passed before an answer — rendered as 504."""
+
+
+class Deadline:
+    """A monotonic-clock expiry shared by the daemon and the CLI.
+
+    Built once at admission from the request's ``timeout_s`` and consulted
+    at every hand-off: the batcher drops tickets that expired while queued,
+    and the handler thread bounds its wait on the ticket future with
+    :meth:`remaining`.
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float) -> None:
+        self.expires_at = expires_at
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        return cls(time.monotonic() + seconds)
+
+    def remaining(self) -> float:
+        """Seconds until expiry — negative once the deadline has passed."""
+        return self.expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+
+@dataclass
+class Ticket:
+    """One admitted request travelling from handler thread to dispatcher.
+
+    The handler thread blocks on :attr:`future` (bounded by the deadline);
+    the dispatcher resolves it with ``(BatchQueryResult, coalesced)`` or an
+    exception.  The future is the *only* channel between the two threads.
+    """
+
+    request: QueryRequest
+    key: str
+    deadline: Optional[Deadline] = None
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and self.deadline.expired
+
+
+class AdmissionQueue:
+    """A bounded FIFO of tickets; full means reject, not block.
+
+    ``limit`` counts *waiting* tickets only — requests already being scored
+    by the dispatcher have left the queue, so the bound is on queued work,
+    the quantity back-pressure must cap.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit <= 0:
+            raise ValueError("admission queue limit must be positive")
+        self.limit = limit
+        self._queue: "queue.Queue[Ticket]" = queue.Queue(maxsize=limit)
+
+    def submit(self, ticket: Ticket) -> None:
+        """Seat *ticket* or raise :class:`QueueFull` immediately (no wait)."""
+        try:
+            self._queue.put_nowait(ticket)
+        except queue.Full:
+            raise QueueFull(
+                f"admission queue is full ({self.limit} waiting requests)"
+            ) from None
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Ticket]:
+        """The next ticket, or ``None`` when *timeout* elapses empty."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def drain(self, max_items: int) -> List[Ticket]:
+        """Up to *max_items* immediately available tickets (no waiting)."""
+        drained: List[Ticket] = []
+        while len(drained) < max_items:
+            try:
+                drained.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        return drained
+
+    def depth(self) -> int:
+        """Approximate number of waiting tickets (racy by nature)."""
+        return self._queue.qsize()
+
+
+def run_with_deadline(fn: Callable[[], T], timeout_s: Optional[float]) -> T:
+    """Run ``fn()`` under the daemon's deadline semantics, synchronously.
+
+    The CLI's ``lake query --timeout-s``: *fn* runs in a daemon thread and
+    the caller waits at most *timeout_s*, raising :class:`DeadlineExpired`
+    on expiry.  The worker thread is not (cannot be) interrupted — it is
+    abandoned, which is acceptable for a process that exits right after —
+    so the caller gets a prompt, honest timeout instead of a hung terminal.
+    """
+    if timeout_s is None:
+        return fn()
+    future: Future = Future()
+
+    def runner() -> None:
+        try:
+            future.set_result(fn())
+        except BaseException as exc:  # propagate everything to the waiter
+            future.set_exception(exc)
+
+    thread = threading.Thread(target=runner, name="deadline-runner", daemon=True)
+    thread.start()
+    try:
+        return future.result(timeout=timeout_s)
+    except FutureTimeoutError:
+        raise DeadlineExpired(
+            f"query did not finish within --timeout-s {timeout_s:g}"
+        ) from None

@@ -137,6 +137,20 @@ class TelemetrySnapshot:
         """Summed duration per histogram name — the per-stage breakdown."""
         return {name: sum(samples) for name, samples in sorted(self.durations.items())}
 
+    def as_dict(self) -> dict:
+        """A JSON-ready view: counters plus per-stage histogram summaries.
+
+        This is what the serve daemon's ``/stats`` endpoint returns — span
+        detail is deliberately omitted (it is trace-file material, not a
+        stats payload) but its truncation is still visible via
+        ``dropped_spans``.
+        """
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "stages": {name: self.duration_summary(name) for name in sorted(self.durations)},
+            "dropped_spans": self.dropped_spans,
+        }
+
     @property
     def empty(self) -> bool:
         return not (self.counters or self.durations or self.spans or self.dropped_spans)
@@ -224,14 +238,24 @@ class TelemetryRecorder:
         keep aggregating past it; only the span *detail* is dropped (and
         counted in :attr:`TelemetrySnapshot.dropped_spans`), so a
         long-running serving process cannot leak memory through its trace.
+    max_samples:
+        Sliding-window cap per duration histogram: each histogram keeps at
+        most the *most recent* ``max_samples`` samples (trimming runs in
+        amortised batches, so a list may transiently hold up to twice the
+        cap).  Counters are unaffected.  The default is large enough that
+        one-shot runs never trim; a serve daemon gets recent-window
+        quantiles instead of unbounded growth.
     """
 
     enabled = True
 
-    def __init__(self, max_spans: int = 10_000) -> None:
+    def __init__(self, max_spans: int = 10_000, max_samples: int = 100_000) -> None:
         if max_spans <= 0:
             raise ValueError("max_spans must be positive")
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
         self.max_spans = max_spans
+        self.max_samples = max_samples
         self._lock = threading.Lock()
         self._counters: dict[str, Number] = {}
         self._durations: dict[str, list[float]] = {}
@@ -245,11 +269,17 @@ class TelemetryRecorder:
         """A context manager timing one named interval (``with rec.span(...)``)."""
         return _Span(self, name, attrs)
 
+    def _observe_locked(self, name: str, seconds: float) -> None:
+        samples = self._durations.setdefault(name, [])
+        samples.append(seconds)
+        if len(samples) > 2 * self.max_samples:
+            del samples[: -self.max_samples]
+
     def _finish_span(
         self, name: str, start: float, duration: float, attrs: dict
     ) -> None:
         with self._lock:
-            self._durations.setdefault(name, []).append(duration)
+            self._observe_locked(name, duration)
             if len(self._spans) < self.max_spans:
                 self._spans.append(
                     SpanRecord(
@@ -271,7 +301,7 @@ class TelemetryRecorder:
     def observe(self, name: str, seconds: float) -> None:
         """Record one duration sample without span detail (histogram only)."""
         with self._lock:
-            self._durations.setdefault(name, []).append(seconds)
+            self._observe_locked(name, seconds)
 
     # ------------------------------------------------------------------ #
     # snapshots and merging
@@ -292,7 +322,10 @@ class TelemetryRecorder:
             for name, value in snapshot.counters.items():
                 self._counters[name] = self._counters.get(name, 0) + value
             for name, samples in snapshot.durations.items():
-                self._durations.setdefault(name, []).extend(samples)
+                mine = self._durations.setdefault(name, [])
+                mine.extend(samples)
+                if len(mine) > 2 * self.max_samples:
+                    del mine[: -self.max_samples]
             room = self.max_spans - len(self._spans)
             if room >= len(snapshot.spans):
                 self._spans.extend(snapshot.spans)

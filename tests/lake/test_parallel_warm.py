@@ -94,7 +94,7 @@ class TestParallelWarmEquality:
                         f"{name}: parallel-warm ranking diverged from serial-warm"
                     )
                     assert (
-                        parallel_engine.last_store_hits
+                        parallel_engine.last_query_stats.store_hits
                         == parallel_engine.last_rerank_count
                         == _NUM_TABLES
                     ), f"{name}: parallel-warm query re-prepared a candidate"
@@ -128,7 +128,7 @@ class TestZeroCsvReads:
                         query, top_k=3, parallel=True, max_workers=2
                     )
                     assert _ranking(parallel) == _ranking(serial)
-                    assert engine.last_store_hits == engine.last_rerank_count == 4
+                    assert engine.last_query_stats.store_hits == engine.last_rerank_count == 4
 
 
 class TestSingleCandidateShortlist:
@@ -153,7 +153,7 @@ class TestSingleCandidateShortlist:
                 ) as engine:
                     results = engine.query(query, parallel=True, max_workers=2)
                     assert [r.table_name for r in results] == ["only"]
-                    assert engine.last_store_hits == engine.last_rerank_count == 1
+                    assert engine.last_query_stats.store_hits == engine.last_rerank_count == 1
 
 
 class TestRerankPoolLifecycle:
@@ -283,7 +283,8 @@ class TestTelemetryParity:
             assert stats.shortlist_size == _NUM_TABLES
             assert stats.rerank_count == _NUM_TABLES
             assert stats.total_seconds > 0.0
-            assert stats.store_hits == engine.last_store_hits
+            with pytest.warns(DeprecationWarning):
+                assert stats.store_hits == engine.last_store_hits
 
 
 class TestWorkerWriteThrough:
@@ -304,7 +305,7 @@ class TestWorkerWriteThrough:
                     matcher=matcher, store=store, prepared_store=prepared_store
                 ) as engine:
                     cold = engine.query(query, parallel=True, max_workers=2)
-                    assert engine.last_store_hits == 0  # genuinely cold
+                    assert engine.last_query_stats.store_hits == 0  # genuinely cold
                     # Workers wrote all four candidates through (the fifth
                     # row is the query itself, via the prepared provider).
                     assert set(prepared_store.table_names()) == {
@@ -315,5 +316,5 @@ class TestWorkerWriteThrough:
                         "query",
                     }
                     warm = engine.query(query)  # serial, same engine
-                    assert engine.last_store_hits == engine.last_rerank_count == 4
+                    assert engine.last_query_stats.store_hits == engine.last_rerank_count == 4
                     assert _ranking(warm) == _ranking(cold)

@@ -1,0 +1,88 @@
+"""Back-pressure primitives: deadlines, the bounded queue, CLI deadline."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionQueue,
+    Deadline,
+    DeadlineExpired,
+    QueueFull,
+    Ticket,
+    run_with_deadline,
+)
+from repro.serve.protocol import decode_query_request
+
+_BODY = b'{"table": {"name": "q", "columns": {"a": [1, 2]}}}'
+
+
+def _ticket(deadline=None) -> Ticket:
+    request = decode_query_request(_BODY)
+    return Ticket(request=request, key="k", deadline=deadline)
+
+
+class TestDeadline:
+    def test_counts_down(self):
+        deadline = Deadline.after(60.0)
+        assert not deadline.expired
+        assert 0.0 < deadline.remaining() <= 60.0
+
+    def test_expires(self):
+        deadline = Deadline.after(0.0)
+        time.sleep(0.001)
+        assert deadline.expired
+        assert deadline.remaining() <= 0.0
+
+    def test_ticket_without_deadline_never_expires(self):
+        assert _ticket(deadline=None).expired is False
+
+
+class TestAdmissionQueue:
+    def test_rejects_when_full_without_blocking(self):
+        queue = AdmissionQueue(limit=2)
+        queue.submit(_ticket())
+        queue.submit(_ticket())
+        started = time.monotonic()
+        with pytest.raises(QueueFull):
+            queue.submit(_ticket())
+        assert time.monotonic() - started < 0.5  # immediate, not a timeout
+
+    def test_fifo_and_drain(self):
+        queue = AdmissionQueue(limit=8)
+        tickets = [_ticket() for _ in range(3)]
+        for ticket in tickets:
+            queue.submit(ticket)
+        assert queue.depth() == 3
+        assert queue.get(timeout=0.1) is tickets[0]
+        assert queue.drain(max_items=10) == tickets[1:]
+        assert queue.depth() == 0
+
+    def test_get_times_out_to_none(self):
+        queue = AdmissionQueue(limit=1)
+        assert queue.get(timeout=0.01) is None
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(limit=0)
+
+
+class TestRunWithDeadline:
+    def test_no_deadline_runs_inline(self):
+        assert run_with_deadline(lambda: 41 + 1, None) == 42
+
+    def test_fast_work_beats_the_deadline(self):
+        assert run_with_deadline(lambda: "done", 30.0) == "done"
+
+    def test_slow_work_raises(self):
+        with pytest.raises(DeadlineExpired):
+            run_with_deadline(lambda: time.sleep(5.0), 0.05)
+
+    def test_worker_exceptions_propagate(self):
+        def boom():
+            raise RuntimeError("inner failure")
+
+        with pytest.raises(RuntimeError, match="inner failure"):
+            run_with_deadline(boom, 30.0)

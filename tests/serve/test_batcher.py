@@ -1,0 +1,114 @@
+"""Dispatcher mechanics, tested without threads where possible."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.serve.admission import AdmissionQueue, Deadline, DeadlineExpired, Ticket
+from repro.serve.batcher import MicroBatcher
+from repro.serve.protocol import decode_query_request, request_cache_key
+
+
+def _ticket(values, deadline=None) -> Ticket:
+    body = json.dumps(
+        {"table": {"name": "q", "columns": {"a": values}}}
+    ).encode("utf-8")
+    request = decode_query_request(body)
+    return Ticket(request=request, key=request_cache_key(request), deadline=deadline)
+
+
+def _batcher(execute, **kwargs) -> MicroBatcher:
+    return MicroBatcher(AdmissionQueue(limit=16), execute=execute, **kwargs)
+
+
+class TestRunBatch:
+    def test_coalesces_identical_requests(self):
+        calls = []
+
+        def execute(requests):
+            calls.append(len(requests))
+            return [f"outcome-{i}" for i in range(len(requests))]
+
+        batcher = _batcher(execute)
+        same_a = _ticket([1, 2]), _ticket([1, 2]), _ticket([1, 2])
+        other = _ticket([9, 9])
+        batcher._run_batch(list(same_a) + [other])
+        assert calls == [2]  # three identical + one distinct -> two scored
+        results = [t.future.result(timeout=1) for t in same_a]
+        assert [outcome for outcome, _ in results] == ["outcome-0"] * 3
+        assert [coalesced for _, coalesced in results] == [False, True, True]
+        assert other.future.result(timeout=1) == ("outcome-1", False)
+        assert batcher.coalesced_count == 2
+
+    def test_expired_tickets_fail_without_scoring(self):
+        def execute(requests):  # pragma: no cover - must not run
+            raise AssertionError("expired-only batch must not execute")
+
+        batcher = _batcher(execute)
+        expired = _ticket([1], deadline=Deadline.after(0.0))
+        time.sleep(0.002)
+        batcher._run_batch([expired])
+        with pytest.raises(DeadlineExpired):
+            expired.future.result(timeout=1)
+        assert batcher.expired_in_queue == 1
+
+    def test_execute_failure_fails_every_ticket(self):
+        def execute(requests):
+            raise RuntimeError("engine exploded")
+
+        batcher = _batcher(execute)
+        tickets = [_ticket([1]), _ticket([2])]
+        batcher._run_batch(tickets)
+        for ticket in tickets:
+            with pytest.raises(RuntimeError, match="engine exploded"):
+                ticket.future.result(timeout=1)
+
+
+class TestThreadLifecycle:
+    def test_on_start_failure_surfaces_from_start(self):
+        def bad_start():
+            raise ValueError("no store here")
+
+        batcher = _batcher(lambda requests: [], on_start=bad_start)
+        with pytest.raises(ValueError, match="no store here"):
+            batcher.start(timeout=5)
+        batcher.stop(timeout=5)
+
+    def test_batches_and_hooks_run_on_dispatcher_thread(self):
+        import threading
+
+        seen_threads = set()
+
+        def execute(requests):
+            seen_threads.add(threading.current_thread().name)
+            return [f"ok-{i}" for i in range(len(requests))]
+
+        hooks = []
+        batcher = _batcher(
+            execute,
+            on_start=lambda: hooks.append("start"),
+            on_stop=lambda: hooks.append("stop"),
+            batch_wait_s=0.01,
+        )
+        batcher.start(timeout=5)
+        try:
+            ticket = _ticket([5, 6])
+            batcher.admission.submit(ticket)
+            outcome, coalesced = ticket.future.result(timeout=5)
+            assert outcome == "ok-0" and coalesced is False
+            assert seen_threads == {"serve-dispatcher"}
+        finally:
+            batcher.stop(timeout=5)
+        assert hooks == ["start", "stop"]
+
+    def test_stop_fails_pending_tickets(self):
+        batcher = _batcher(lambda requests: [None] * len(requests))
+        # Never started: stop() must still drain and fail queued tickets.
+        ticket = _ticket([1])
+        batcher.admission.submit(ticket)
+        batcher._fail_pending(RuntimeError("shutting down"))
+        with pytest.raises(RuntimeError, match="shutting down"):
+            ticket.future.result(timeout=1)

@@ -1,0 +1,273 @@
+"""The daemon end to end: endpoints, identity with the one-shot engine,
+coalescing, and admission control (429 queue-full, 504 deadline expiry).
+
+The lake is tiny and the daemon reranks serially inside the dispatcher
+(``parallel=False``) so these tests are seconds-scale and deterministic on
+one CPU; the parallel path itself is covered by the engine/rerank suites
+and the ``slow`` reopen test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.data.csv_io import write_csv
+from repro.datasets import tpcdi_prospect_table
+from repro.discovery.prepared import PreparedStore
+from repro.lake import LakeDiscoveryEngine, SketchStore, build_from_paths, prepare_lake
+from repro.matchers.registry import create_matcher
+from repro.serve import (
+    DeadlineExpiredError,
+    DiscoveryServer,
+    QueueFullError,
+    ServeClient,
+    ServeConfig,
+)
+
+_METHOD = "jaccardlevenshtein"
+_NUM_TABLES = 5
+
+
+@pytest.fixture(scope="module")
+def served_lake(tmp_path_factory):
+    """A built + prepared lake and the query table, shared by the module."""
+    tmp_path = tmp_path_factory.mktemp("serve_lake")
+    lake_dir = tmp_path / "lake"
+    lake_dir.mkdir()
+    for i in range(_NUM_TABLES):
+        table = tpcdi_prospect_table(num_rows=16, seed=30 + i).rename(f"t{i}")
+        write_csv(table, lake_dir / f"{table.name}.csv")
+    store_path = tmp_path / "lake.sketches"
+    with SketchStore(store_path) as store:
+        build_from_paths(store, sorted(lake_dir.glob("*.csv")))
+        with PreparedStore(tmp_path / "lake.sketches.prepared") as prepared_store:
+            prepare_lake(store, prepared_store, create_matcher(_METHOD))
+    query = tpcdi_prospect_table(num_rows=16, seed=99).rename("query_table")
+    return store_path, query
+
+
+@pytest.fixture(scope="module")
+def server(served_lake):
+    store_path, _ = served_lake
+    config = ServeConfig(
+        store_path=store_path,
+        method=_METHOD,
+        parallel=False,
+        batch_wait_s=0.002,
+    )
+    with DiscoveryServer(config) as daemon:
+        yield daemon
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    with ServeClient(host=host, port=port, timeout_s=30) as serve_client:
+        yield serve_client
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["tables"] == _NUM_TABLES
+        assert health["generation"] is not None
+
+    def test_query_matches_one_shot_engine_exactly(self, served_lake, client):
+        store_path, query = served_lake
+        served = client.query(query, mode="joinable", top_k=_NUM_TABLES)
+        with SketchStore(store_path) as store:
+            with PreparedStore(
+                store_path.with_name(store_path.name + ".prepared")
+            ) as prepared_store:
+                with LakeDiscoveryEngine(
+                    matcher=create_matcher(_METHOD),
+                    store=store,
+                    prepared_store=prepared_store,
+                ) as engine:
+                    direct = engine.query(query, mode="joinable", top_k=_NUM_TABLES)
+        assert [
+            (r["table_name"], r["joinability"], r["unionability"])
+            for r in served["results"]
+        ] == [(r.table_name, r.joinability, r.unionability) for r in direct]
+        assert served["stats"]["rerank_count"] == _NUM_TABLES
+        assert served["stats"]["store_hits"] == _NUM_TABLES  # fully warm
+
+    def test_stats_exposes_counters_and_stage_histograms(self, client, served_lake):
+        _, query = served_lake
+        client.query(query, top_k=2)
+        stats = client.stats()
+        assert stats["counters"]["serve.admitted"] >= 1
+        assert "serve.request" in stats["stages"]
+        assert stats["stages"]["serve.request"]["count"] >= 1
+        assert stats["serve"]["queue_limit"] == 32
+        assert "query.shortlist" in stats["stages"]
+
+    def test_unknown_path_is_404(self, server):
+        import http.client
+
+        host, port = server.address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request("GET", "/nope")
+            assert connection.getresponse().status == 404
+        finally:
+            connection.close()
+
+    def test_malformed_body_is_400_not_500(self, server):
+        import http.client
+
+        host, port = server.address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request("POST", "/query", body=b'{"table": 7}')
+            response = connection.getresponse()
+            assert response.status == 400
+            assert b"bad_request" in response.read()
+        finally:
+            connection.close()
+
+
+class TestCoalescing:
+    def test_identical_concurrent_queries_share_one_score(
+        self, served_lake, server
+    ):
+        _, query = served_lake
+        host, port = server.address
+        results = [None] * 6
+        errors = []
+
+        def go(index):
+            try:
+                with ServeClient(host=host, port=port, timeout_s=30) as c:
+                    results[index] = c.query(query, mode="unionable", top_k=3)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=go, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        rankings = {tuple((r["table_name"], r["joinability"]) for r in res["results"]) for res in results}
+        assert len(rankings) == 1  # every client saw the same answer
+
+
+class TestAdmissionControl:
+    """Back-pressure behaviour, driven through real HTTP clients.
+
+    A stalled dispatcher (its ``execute`` blocked on an event we control)
+    backs requests up into the bounded queue, which lets the tests observe
+    429 rejection and 504 expiry deterministically.
+    """
+
+    @pytest.fixture()
+    def stalled_server(self, served_lake):
+        store_path, _ = served_lake
+        config = ServeConfig(
+            store_path=store_path,
+            method=_METHOD,
+            parallel=False,
+            queue_limit=1,
+            batch_max=1,
+            batch_wait_s=0.001,
+        )
+        daemon = DiscoveryServer(config)
+        release = threading.Event()
+        entered = threading.Event()
+        original = daemon.batcher.execute
+
+        def stalling_execute(requests):
+            entered.set()
+            assert release.wait(timeout=30), "test forgot to release the batcher"
+            return original(requests)
+
+        daemon.batcher.execute = stalling_execute
+        with daemon:
+            yield daemon, entered, release
+        release.set()
+
+    def test_queue_full_is_rejected_with_429_not_hung(
+        self, served_lake, stalled_server
+    ):
+        _, query = served_lake
+        daemon, entered, release = stalled_server
+        host, port = daemon.address
+        outcomes: dict = {}
+
+        def background_query(tag):
+            try:
+                with ServeClient(host=host, port=port, timeout_s=60) as c:
+                    outcomes[tag] = c.query(query, top_k=2)
+            except Exception as exc:
+                outcomes[tag] = exc
+
+        # First request occupies the dispatcher (blocked inside execute)...
+        first = threading.Thread(target=background_query, args=("first",))
+        first.start()
+        assert entered.wait(timeout=30)
+        # ...second fills the single queue seat...
+        second = threading.Thread(target=background_query, args=("second",))
+        second.start()
+        deadline = time.monotonic() + 10
+        while daemon.admission.depth() < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert daemon.admission.depth() == 1
+        # ...third must bounce immediately with 429.
+        started = time.monotonic()
+        with ServeClient(host=host, port=port, timeout_s=30) as c:
+            with pytest.raises(QueueFullError) as excinfo:
+                c.query(query, top_k=2)
+        assert time.monotonic() - started < 5.0  # rejected, not hung
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after >= 1.0
+        release.set()
+        first.join(timeout=60)
+        second.join(timeout=60)
+        assert isinstance(outcomes["first"], dict)
+        assert isinstance(outcomes["second"], dict)
+        stats = daemon.stats()
+        assert stats["counters"]["serve.rejected_queue_full"] >= 1
+
+    def test_deadline_expiry_mid_rerank_returns_504(
+        self, served_lake, stalled_server
+    ):
+        _, query = served_lake
+        daemon, entered, release = stalled_server
+        host, port = daemon.address
+        with ServeClient(host=host, port=port, timeout_s=30) as c:
+            with pytest.raises(DeadlineExpiredError) as excinfo:
+                c.query(query, top_k=2, timeout_s=0.2)
+        assert excinfo.value.status == 504
+        assert entered.wait(timeout=30)  # the rerank really was in flight
+        release.set()
+        deadline = time.monotonic() + 10
+        while (
+            daemon.recorder.snapshot().counters.get("serve.deadline_expired", 0) < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert daemon.recorder.snapshot().counters["serve.deadline_expired"] >= 1
+
+
+class TestUnixSocket:
+    def test_serves_over_unix_socket(self, served_lake, tmp_path):
+        store_path, query = served_lake
+        socket_path = tmp_path / "serve.sock"
+        config = ServeConfig(
+            store_path=store_path,
+            method=_METHOD,
+            parallel=False,
+            unix_socket=socket_path,
+        )
+        with DiscoveryServer(config) as daemon:
+            assert daemon.address == (str(socket_path), 0)
+            with ServeClient(unix_socket=socket_path) as client:
+                assert client.healthz()["status"] == "ok"
+                response = client.query(query, top_k=2)
+                assert len(response["results"]) == 2
+        assert not socket_path.exists()  # cleaned up on stop

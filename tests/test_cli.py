@@ -301,6 +301,56 @@ class TestObservability:
         )
         return store, query_path
 
+    def test_query_timeout_s_generous_deadline_succeeds(self, tmp_path, capsys):
+        store, query_path = self._built_lake(tmp_path)
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "lake",
+                "query",
+                str(query_path),
+                "--store",
+                str(store),
+                "--timeout-s",
+                "120",
+            ]
+        )
+        assert exit_code == 0
+        assert "candidates reranked" in capsys.readouterr().out
+
+    def test_query_timeout_s_expiry_exits_124(self, tmp_path, capsys):
+        store, query_path = self._built_lake(tmp_path)
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "lake",
+                "query",
+                str(query_path),
+                "--store",
+                str(store),
+                "--timeout-s",
+                "0.00001",
+            ]
+        )
+        assert exit_code == 124
+        assert "--timeout-s" in capsys.readouterr().err
+
+    def test_serve_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["lake", "serve", "--store", "x.sketches"])
+        assert args.lake_command == "serve"
+        assert args.queue_limit == 32
+        assert args.batch_max == 8
+        assert args.timeout_s == 30.0
+        assert args.unix_socket is None
+
+    def test_serve_without_store_fails(self, tmp_path, capsys):
+        exit_code = main(
+            ["lake", "serve", "--store", str(tmp_path / "missing.sketches")]
+        )
+        assert exit_code == 1
+        assert "run `lake build` first" in capsys.readouterr().err
+
     def test_query_stats_prints_summary(self, tmp_path, capsys):
         store, query_path = self._built_lake(tmp_path)
         capsys.readouterr()
