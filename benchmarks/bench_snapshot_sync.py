@@ -1,0 +1,190 @@
+"""Snapshot distribution benchmark: full pull vs delta pull (PR 8).
+
+The PR 8 claim: on a 500-table lake where 10 tables changed, a replica
+``lake pull`` moves a small fraction of the bytes of a full snapshot copy —
+content addressing skips every shared blob, and the IBLT reconciliation
+decodes the 10-key delta without shipping key lists.
+
+The benchmark builds the lake (sketch store + prepared store, so payload
+bytes — the expensive part — are measured too), publishes, and measures:
+
+1. **Full pull** — bootstrap into an empty replica: every blob crosses.
+   This is the "full snapshot copy" baseline in bytes and seconds.
+2. **Delta pull** — the publisher rewrites ``DELTA_TABLES`` tables,
+   rebuilds, re-publishes (in place), and the *same* replica pulls again:
+   only the changed blobs may cross.
+
+Asserted (at full scale): delta bytes <= ``MAX_DELTA_BYTES_RATIO`` of the
+full pull, the delta reconciles via IBLT decode (no fallback), and the
+post-pull replica's ranking is **byte-identical** to a store freshly built
+from the publisher's final CSVs.  Results are printed AND written to
+``BENCH_PR8.json`` at the repository root.  Set ``BENCH_PR8_SMOKE=1`` for a
+seconds-scale smoke run (CI): scales shrink, the identity and
+delta-only-blob assertions still hold, the byte-ratio bound is relaxed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_report
+from repro.artifacts import publish_snapshot, pull_snapshot
+from repro.data.csv_io import write_csv
+from repro.datasets import tpcdi_prospect_table
+from repro.discovery.prepared import PreparedStore
+from repro.lake import LakeDiscoveryEngine, SketchStore, build_from_paths, prepare_lake
+from repro.matchers.registry import create_matcher
+
+SMOKE = os.environ.get("BENCH_PR8_SMOKE", "") not in ("", "0")
+
+NUM_TABLES = 40 if SMOKE else 500
+DELTA_TABLES = 2 if SMOKE else 10
+TABLE_ROWS = 24 if SMOKE else 60
+WORKERS = max(2, min(4, os.cpu_count() or 1))
+#: The PR 8 acceptance bound: a 10-of-500 delta must move <= 5% of the
+#: bytes of a full snapshot copy.  Smoke scale (2 of 40) is bounded looser
+#: because fixed per-table costs weigh more at small scale.
+MAX_DELTA_BYTES_RATIO = 0.15 if SMOKE else 0.05
+
+_OUTPUT_PATH = Path(__file__).parent.parent / "BENCH_PR8.json"
+
+
+def _matcher():
+    return create_matcher("jaccardlevenshtein", sample_size=20)
+
+
+def _ranking_bytes(store, prepared_store, query) -> bytes:
+    with LakeDiscoveryEngine(
+        matcher=_matcher(), store=store, prepared_store=prepared_store
+    ) as engine:
+        results = engine.query(query, mode="combined", top_k=20)
+    return pickle.dumps(
+        [(r.table_name, r.scores, r.matches) for r in results], protocol=4
+    )
+
+
+def _bench(workdir: Path) -> dict[str, object]:
+    lake_dir = workdir / "lake"
+    lake_dir.mkdir()
+    for i in range(NUM_TABLES):
+        table = tpcdi_prospect_table(num_rows=TABLE_ROWS, seed=1000 + i)
+        write_csv(table.rename(f"table_{i:04d}"), lake_dir / f"table_{i:04d}.csv")
+
+    publisher = SketchStore(workdir / "publisher.sketches")
+    prepared = PreparedStore(workdir / "publisher.sketches.prepared")
+    build_from_paths(publisher, sorted(lake_dir.glob("*.csv")), workers=WORKERS)
+    prepare_lake(publisher, prepared, _matcher(), workers=WORKERS)
+
+    artifact = workdir / "artifact"
+    started = time.perf_counter()
+    publish = publish_snapshot(publisher, artifact, prepared_store=prepared)
+    publish_seconds = time.perf_counter() - started
+
+    # 1. Full pull: bootstrap replica, every blob crosses.
+    replica = SketchStore(workdir / "replica.sketches")
+    replica_prepared = PreparedStore(workdir / "replica.sketches.prepared")
+    started = time.perf_counter()
+    full = pull_snapshot(artifact, replica, prepared_store=replica_prepared)
+    full_seconds = time.perf_counter() - started
+    assert full.tables_added == NUM_TABLES, "bootstrap pull missed tables"
+
+    # 2. Publisher rewrites DELTA_TABLES tables and re-publishes in place.
+    for i in range(DELTA_TABLES):
+        table = tpcdi_prospect_table(num_rows=TABLE_ROWS + 6, seed=9000 + i)
+        write_csv(table.rename(f"table_{i:04d}"), lake_dir / f"table_{i:04d}.csv")
+    build_from_paths(publisher, sorted(lake_dir.glob("*.csv")), workers=WORKERS)
+    prepare_lake(publisher, prepared, _matcher(), workers=WORKERS)
+    started = time.perf_counter()
+    republish = publish_snapshot(publisher, artifact, prepared_store=prepared)
+    republish_seconds = time.perf_counter() - started
+    assert republish.blobs_written == 2 * DELTA_TABLES, (
+        "in-place re-publish rewrote more than the delta "
+        f"({republish.blobs_written} blobs)"
+    )
+
+    # 3. Delta pull into the already-synced replica.
+    started = time.perf_counter()
+    delta = pull_snapshot(artifact, replica, prepared_store=replica_prepared)
+    delta_seconds = time.perf_counter() - started
+    assert delta.blobs_fetched == 2 * DELTA_TABLES, (
+        f"delta pull fetched {delta.blobs_fetched} blobs, "
+        f"expected {2 * DELTA_TABLES}"
+    )
+    assert delta.iblt_fallback == 0, "delta reconciliation fell back to full diff"
+
+    # 4. Acceptance: post-pull rankings byte-identical to a fresh build.
+    fresh = SketchStore(workdir / "fresh.sketches")
+    fresh_prepared = PreparedStore(workdir / "fresh.sketches.prepared")
+    build_from_paths(fresh, sorted(lake_dir.glob("*.csv")), workers=WORKERS)
+    prepare_lake(fresh, fresh_prepared, _matcher(), workers=WORKERS)
+    query = tpcdi_prospect_table(num_rows=TABLE_ROWS, seed=42).rename("query_table")
+    assert _ranking_bytes(replica, replica_prepared, query) == _ranking_bytes(
+        fresh, fresh_prepared, query
+    ), "replica ranking diverged from a freshly built store"
+
+    for handle in (publisher, prepared, replica, replica_prepared, fresh, fresh_prepared):
+        handle.close()
+
+    ratio = delta.bytes_fetched / max(1, full.bytes_fetched)
+    return {
+        "tables": NUM_TABLES,
+        "delta_tables": DELTA_TABLES,
+        "table_rows": TABLE_ROWS,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "publish_seconds": round(publish_seconds, 3),
+        "republish_seconds": round(republish_seconds, 3),
+        "full_pull_bytes": full.bytes_fetched,
+        "full_pull_blobs": full.blobs_fetched,
+        "full_pull_seconds": round(full_seconds, 3),
+        "delta_pull_bytes": delta.bytes_fetched,
+        "delta_pull_blobs": delta.blobs_fetched,
+        "delta_pull_seconds": round(delta_seconds, 3),
+        "delta_bytes_ratio": round(ratio, 5),
+        "delta_via_iblt": delta.iblt_fallback == 0,
+        "snapshot_id": republish.snapshot_id,
+    }
+
+
+def test_snapshot_sync_benchmark():
+    workdir = Path(tempfile.mkdtemp(prefix="bench_pr8_"))
+    try:
+        stats = _bench(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    payload = {
+        "benchmark": "bench_snapshot_sync",
+        "smoke": SMOKE,
+        "snapshot_sync": stats,
+    }
+    _OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    lines = [
+        f"workload:    {NUM_TABLES} tables x {stats['table_rows']} rows, "
+        f"{DELTA_TABLES}-table delta (smoke={SMOKE})",
+        f"full pull:   {stats['full_pull_bytes']:>12,} bytes "
+        f"({stats['full_pull_blobs']} blobs) in {stats['full_pull_seconds']:6.2f} s",
+        f"delta pull:  {stats['delta_pull_bytes']:>12,} bytes "
+        f"({stats['delta_pull_blobs']} blobs) in {stats['delta_pull_seconds']:6.2f} s",
+        f"byte ratio:  {100 * stats['delta_bytes_ratio']:.2f}% of full "
+        f"(bound {100 * MAX_DELTA_BYTES_RATIO:.0f}%), reconciled via "
+        + ("IBLT decode" if stats["delta_via_iblt"] else "full diff"),
+        "post-pull replica ranking byte-identical to a freshly built store",
+        f"written to   {_OUTPUT_PATH.name}",
+    ]
+    print_report(
+        "Snapshot sync — content-addressed full vs delta pull (PR 8)",
+        "\n".join(lines),
+    )
+
+    assert stats["delta_bytes_ratio"] <= MAX_DELTA_BYTES_RATIO, (
+        f"delta pull moved {100 * stats['delta_bytes_ratio']:.2f}% of the "
+        f"full-snapshot bytes (bound {100 * MAX_DELTA_BYTES_RATIO:.0f}%)"
+    )

@@ -1,0 +1,421 @@
+"""Publish and pull: moving lake snapshots between nodes by content address.
+
+The replication topology is **single writer, many readers**: one node owns
+the sketch/prepared stores (it runs ``lake build`` / ``lake watch``),
+periodically :func:`publish_snapshot`-es them into an artifact directory
+(local disk, NFS export, object-store mount — anything path-like), and any
+number of query nodes :func:`pull_snapshot` the artifact into their own
+local stores.  Applied pulls commit through the ordinary single-writer
+store APIs (:meth:`SketchStore.add_sketch`, :meth:`PreparedStore.put_raw`),
+bumping the store version — a running ``lake serve`` daemon on the replica
+notices via its ``store_generation`` probe and reopens live.
+
+Delta sync.  A pull first reconciles *keys* (``t|name|hash`` /
+``p|fingerprint|name|hash|fmt``) between the local stores and the published
+manifest.  The preferred mechanism is the manifest's
+:class:`~repro.artifacts.iblt.IBLTSketch`: the puller folds its own keys
+into an identically-shaped table, subtracts, and peels — an O(cells)
+exchange that recovers the symmetric difference no matter how large the
+lake is, as long as the *difference* fits the table.  Peel failure (e.g. a
+bootstrap pull into an empty store, where the difference is the whole lake)
+falls back to a full manifest diff; either way only missing blobs are
+fetched, and shared ones cost nothing.  Telemetry counters:
+``artifacts.iblt.decode_success`` / ``artifacts.iblt.decode_fallback``,
+``artifacts.pull.blobs_fetched`` / ``blobs_skipped`` / ``bytes_fetched``.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.artifacts.blobs import BlobStore
+from repro.artifacts.iblt import IBLTSketch, key_fingerprint
+from repro.artifacts.manifest import (
+    BLOBS_DIR,
+    Manifest,
+    PreparedEntry,
+    TableEntry,
+    decode_sketch_blob,
+    encode_sketch_blob,
+)
+from repro.discovery.prepared import PreparedStore
+from repro.lake.store import SketchStore
+from repro.telemetry import recorder as telemetry
+
+__all__ = ["PublishReport", "PullReport", "publish_snapshot", "pull_snapshot"]
+
+logger = logging.getLogger(__name__)
+
+
+# ---------------------------------------------------------------------- #
+# publish
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class PublishReport:
+    """Outcome of one :func:`publish_snapshot` run."""
+
+    snapshot_id: str = ""
+    tables: int = 0
+    prepared: int = 0
+    #: Blobs actually written vs already present from a previous publish —
+    #: an unchanged re-publish writes zero blobs.
+    blobs_written: int = 0
+    blobs_reused: int = 0
+    bytes_written: int = 0
+    blobs_pruned: int = 0
+
+
+def publish_snapshot(
+    store: SketchStore,
+    artifact_dir: Union[str, Path],
+    prepared_store: Optional[PreparedStore] = None,
+    iblt_cells_per_subtable: int = 128,
+    prune: bool = True,
+) -> PublishReport:
+    """Export *store* (and optionally *prepared_store*) as a snapshot artifact.
+
+    Blobs are content-addressed and written first (atomically, reusing any
+    digest already present), the manifest swap is the single publication
+    point, and unreferenced blobs of superseded snapshots are pruned after
+    the swap — so re-publishing in place is safe under concurrent pulls and
+    costs O(delta) writes.
+
+    Parameters
+    ----------
+    store / prepared_store:
+        The stores to export.  Prepared payload blobs are shipped verbatim
+        (current payload format only); pass ``None`` to publish sketches
+        only.
+    artifact_dir:
+        Destination directory (created on demand).
+    iblt_cells_per_subtable:
+        Size of the reconciliation sketches embedded in the manifest; the
+        default decodes deltas of roughly 250 keys.  Bigger lakes with
+        churnier deltas can raise it — pullers adapt automatically (the
+        shape travels in the manifest).
+    prune:
+        Delete blobs no longer referenced by the new manifest.  Turn off
+        when several publishers share one blob directory.
+    """
+    report = PublishReport()
+    directory = Path(artifact_dir)
+    blobs = BlobStore(directory / BLOBS_DIR)
+    with telemetry.span("artifacts.publish", store=store.path):
+        table_entries: list[TableEntry] = []
+        for sketch in store:
+            data = encode_sketch_blob(sketch)
+            digest, written = blobs.write(data)
+            if written:
+                report.blobs_written += 1
+                report.bytes_written += len(data)
+            else:
+                report.blobs_reused += 1
+            table_entries.append(
+                TableEntry(
+                    name=sketch.name,
+                    content_hash=sketch.content_hash,
+                    digest=digest,
+                    num_rows=sketch.num_rows,
+                )
+            )
+        prepared_entries: list[PreparedEntry] = []
+        if prepared_store is not None:
+            for fingerprint, name, content_hash, fmt, blob in prepared_store.iter_raw():
+                digest, written = blobs.write(bytes(blob))
+                if written:
+                    report.blobs_written += 1
+                    report.bytes_written += len(blob)
+                else:
+                    report.blobs_reused += 1
+                prepared_entries.append(
+                    PreparedEntry(
+                        fingerprint=fingerprint,
+                        table_name=name,
+                        content_hash=content_hash,
+                        payload_format=fmt,
+                        digest=digest,
+                    )
+                )
+        manifest = Manifest(
+            sketch_config=store.config,
+            store_version=store.version,
+            tables=table_entries,
+            prepared=prepared_entries,
+            iblt=IBLTSketch.from_keys(
+                (entry.key for entry in table_entries),
+                cells_per_subtable=iblt_cells_per_subtable,
+            ),
+            prepared_iblt=IBLTSketch.from_keys(
+                (entry.key for entry in prepared_entries),
+                cells_per_subtable=iblt_cells_per_subtable,
+            ),
+        )
+        manifest.save(directory)
+        if prune:
+            report.blobs_pruned = blobs.prune(manifest.referenced_digests())
+    report.snapshot_id = manifest.snapshot_id
+    report.tables = len(table_entries)
+    report.prepared = len(prepared_entries)
+    telemetry.count("artifacts.publish.blobs_written", report.blobs_written)
+    telemetry.count("artifacts.publish.blobs_reused", report.blobs_reused)
+    telemetry.count("artifacts.publish.bytes_written", report.bytes_written)
+    logger.info(
+        "published snapshot %s: %d tables, %d prepared payloads "
+        "(%d blobs written, %d reused, %d pruned)",
+        report.snapshot_id[:12],
+        report.tables,
+        report.prepared,
+        report.blobs_written,
+        report.blobs_reused,
+        report.blobs_pruned,
+    )
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# reconciliation
+# ---------------------------------------------------------------------- #
+
+
+def _reconcile(
+    local_keys: set[str],
+    remote_keys: set[str],
+    remote_iblt: Optional[IBLTSketch],
+) -> tuple[set[str], set[str], bool]:
+    """``(keys to fetch, keys to retire, via_iblt)`` for one key domain.
+
+    Attempts the O(delta) IBLT exchange first: fold the local keys into a
+    table of the remote sketch's shape, subtract, peel.  Any failure —
+    missing sketch, peel giving up, or a decoded fingerprint that maps to
+    no known key (a 64-bit collision, vanishingly rare) — falls back to the
+    exact full diff, so the result is always correct.
+    """
+    if remote_iblt is not None:
+        local_iblt = IBLTSketch.from_keys(
+            local_keys,
+            cells_per_subtable=remote_iblt.cells_per_subtable,
+            num_hashes=remote_iblt.num_hashes,
+            seed=remote_iblt.seed,
+        )
+        decoded = local_iblt.subtract(remote_iblt).decode()
+        if decoded is not None:
+            local_by_print = {key_fingerprint(key): key for key in local_keys}
+            remote_by_print = {key_fingerprint(key): key for key in remote_keys}
+            to_remove = {
+                local_by_print[p] for p in decoded.only_in_self if p in local_by_print
+            }
+            to_fetch = {
+                remote_by_print[p] for p in decoded.only_in_other if p in remote_by_print
+            }
+            if len(to_remove) == len(decoded.only_in_self) and len(to_fetch) == len(
+                decoded.only_in_other
+            ):
+                telemetry.count("artifacts.iblt.decode_success")
+                return to_fetch, to_remove, True
+            logger.warning(
+                "IBLT decoded keys that map to no manifest entry "
+                "(fingerprint collision?); falling back to full diff"
+            )
+        telemetry.count("artifacts.iblt.decode_fallback")
+    return remote_keys - local_keys, local_keys - remote_keys, False
+
+
+# ---------------------------------------------------------------------- #
+# pull
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class PullReport:
+    """Outcome of one :func:`pull_snapshot` run."""
+
+    snapshot_id: str = ""
+    tables_added: int = 0
+    tables_removed: int = 0
+    prepared_added: int = 0
+    prepared_removed: int = 0
+    #: Blob traffic: fetched = read from the artifact (the bytes a remote
+    #: transport would move), skipped = referenced by the manifest but
+    #: already present locally (zero transfer).
+    blobs_fetched: int = 0
+    blobs_skipped: int = 0
+    bytes_fetched: int = 0
+    #: Key domains (tables / prepared) reconciled via a successful IBLT
+    #: peel vs the full-diff fallback.
+    iblt_decoded: int = 0
+    iblt_fallback: int = 0
+    #: Tables whose fetched blob failed digest/identity verification (the
+    #: pull skips them and keeps whatever the local store had).
+    corrupt: list[str] = field(default_factory=list)
+
+    @property
+    def unchanged(self) -> bool:
+        """True when the pull found the local stores already in sync."""
+        return (
+            self.tables_added
+            == self.tables_removed
+            == self.prepared_added
+            == self.prepared_removed
+            == 0
+        )
+
+
+def pull_snapshot(
+    artifact_dir: Union[str, Path],
+    store: SketchStore,
+    prepared_store: Optional[PreparedStore] = None,
+    remove_missing: bool = True,
+) -> PullReport:
+    """Sync local stores to the snapshot published at *artifact_dir*.
+
+    Only blobs whose keys are missing locally are read (delta fetch); local
+    tables and payloads absent from the snapshot are retired when
+    *remove_missing* is set, so the replica converges to exactly the
+    published state.  All writes go through the ordinary store APIs in this
+    (single-writer) process; every applied change bumps the sketch store's
+    monotone version, which is what a serving daemon's generation probe
+    watches.
+
+    Raises
+    ------
+    FileNotFoundError / ValueError
+        Unreadable artifact, or a sketch-config mismatch with the local
+        store (signatures would not be comparable).
+    """
+    report = PullReport()
+    manifest = Manifest.load(artifact_dir)
+    if manifest.sketch_config != store.config:
+        raise ValueError(
+            f"snapshot at {artifact_dir} was published with "
+            f"{manifest.sketch_config}, local store uses {store.config}; "
+            "refusing to mix incomparable sketches"
+        )
+    report.snapshot_id = manifest.snapshot_id
+    blobs = BlobStore(Path(artifact_dir) / BLOBS_DIR)
+    with telemetry.span("artifacts.pull", artifact=str(artifact_dir)):
+        _pull_tables(manifest, blobs, store, remove_missing, report)
+        if prepared_store is not None:
+            _pull_prepared(manifest, blobs, prepared_store, remove_missing, report)
+    telemetry.count("artifacts.pull.blobs_fetched", report.blobs_fetched)
+    telemetry.count("artifacts.pull.blobs_skipped", report.blobs_skipped)
+    telemetry.count("artifacts.pull.bytes_fetched", report.bytes_fetched)
+    logger.info(
+        "pulled snapshot %s: +%d/-%d tables, +%d/-%d prepared "
+        "(%d blobs fetched / %d skipped, %d bytes)",
+        report.snapshot_id[:12],
+        report.tables_added,
+        report.tables_removed,
+        report.prepared_added,
+        report.prepared_removed,
+        report.blobs_fetched,
+        report.blobs_skipped,
+        report.bytes_fetched,
+    )
+    return report
+
+
+def _pull_tables(
+    manifest: Manifest,
+    blobs: BlobStore,
+    store: SketchStore,
+    remove_missing: bool,
+    report: PullReport,
+) -> None:
+    local_meta = store.table_meta(store.table_names)
+    local_keys = {
+        f"t|{name}|{content_hash}": name
+        for name, (content_hash, _path) in local_meta.items()
+    }
+    remote_entries = {entry.key: entry for entry in manifest.tables}
+    to_fetch, to_remove, via_iblt = _reconcile(
+        set(local_keys), set(remote_entries), manifest.iblt
+    )
+    report.iblt_decoded += int(via_iblt)
+    report.iblt_fallback += int(not via_iblt)
+    report.blobs_skipped += len(remote_entries) - len(to_fetch)
+    for key in sorted(to_fetch):
+        entry = remote_entries[key]
+        try:
+            data = blobs.read(entry.digest)
+            sketch = decode_sketch_blob(data)
+        except (KeyError, ValueError) as exc:
+            logger.warning("skipping table %r: bad snapshot blob (%s)", entry.name, exc)
+            report.corrupt.append(entry.name)
+            continue
+        if sketch.name != entry.name or sketch.content_hash != entry.content_hash:
+            logger.warning(
+                "skipping table %r: blob identity does not match its manifest entry",
+                entry.name,
+            )
+            report.corrupt.append(entry.name)
+            continue
+        report.blobs_fetched += 1
+        report.bytes_fetched += len(data)
+        if store.add_sketch(sketch):
+            report.tables_added += 1
+    if remove_missing:
+        # A changed table surfaces as old-key-removed + new-key-added for
+        # the same name; the add above already replaced the row, so only
+        # names absent from the snapshot entirely are dropped.
+        remote_names = {entry.name for entry in manifest.tables}
+        for key in sorted(to_remove):
+            name = local_keys[key]
+            if name in remote_names:
+                continue
+            if store.remove_table(name):
+                report.tables_removed += 1
+
+
+def _pull_prepared(
+    manifest: Manifest,
+    blobs: BlobStore,
+    prepared_store: PreparedStore,
+    remove_missing: bool,
+    report: PullReport,
+) -> None:
+    local_rows = {
+        f"p|{fingerprint}|{name}|{content_hash}|{fmt}": (fingerprint, name, content_hash)
+        for fingerprint, name, content_hash, fmt in prepared_store.raw_keys()
+    }
+    remote_entries = {entry.key: entry for entry in manifest.prepared}
+    to_fetch, to_remove, via_iblt = _reconcile(
+        set(local_rows), set(remote_entries), manifest.prepared_iblt
+    )
+    report.iblt_decoded += int(via_iblt)
+    report.iblt_fallback += int(not via_iblt)
+    report.blobs_skipped += len(remote_entries) - len(to_fetch)
+    for key in sorted(to_fetch):
+        entry = remote_entries[key]
+        try:
+            data = blobs.read(entry.digest)
+        except (KeyError, ValueError) as exc:
+            logger.warning(
+                "skipping prepared payload for %r: bad snapshot blob (%s)",
+                entry.table_name,
+                exc,
+            )
+            report.corrupt.append(entry.table_name)
+            continue
+        report.blobs_fetched += 1
+        report.bytes_fetched += len(data)
+        prepared_store.put_raw(
+            entry.fingerprint,
+            entry.table_name,
+            entry.content_hash,
+            entry.payload_format,
+            data,
+        )
+        report.prepared_added += 1
+    if remove_missing:
+        # Prepared keys embed the content hash, so a changed payload's old
+        # row is a distinct primary key — exact removal never clobbers the
+        # row just pulled.
+        for key in sorted(to_remove):
+            fingerprint, name, content_hash = local_rows[key]
+            if prepared_store.remove_raw(fingerprint, name, content_hash):
+                report.prepared_removed += 1

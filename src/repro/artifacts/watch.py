@@ -1,0 +1,219 @@
+"""Incremental lake ingestion: keep a sketch store in sync with a directory.
+
+``lake watch <data-dir>`` polls a directory of CSVs and folds changes into
+the stores without ever rebuilding the world:
+
+* a cheap ``(mtime_ns, size)`` prefilter decides which files even get
+  *read* — an idle poll over a 100k-file lake is pure ``stat`` calls;
+* files that pass the prefilter go through the ordinary
+  :func:`~repro.lake.build.build_from_paths` path, whose
+  ``table_content_hash`` comparison confirms real content change (a
+  ``touch`` re-reads but never re-sketches or re-enters the writer);
+* stems that vanish from the directory are removed from the sketch store
+  (and their prepared payloads pruned on the next ``prepare`` pass).
+
+The watcher is the lake's single writer; combined with
+:func:`~repro.artifacts.sync.publish_snapshot` (see *publish_dir*) it turns
+a plain directory of CSVs into a continuously re-published snapshot that
+replica ``lake serve`` nodes pull from.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.artifacts.sync import PublishReport, publish_snapshot
+from repro.discovery.prepared import PreparedStore
+from repro.lake.build import build_from_paths, prepare_lake
+from repro.lake.store import SketchStore
+from repro.matchers.base import BaseMatcher
+from repro.telemetry import recorder as telemetry
+
+__all__ = ["LakeWatcher", "WatchReport"]
+
+logger = logging.getLogger(__name__)
+
+#: ``(mtime_ns, size)`` — the prefilter identity of one file on disk.
+_FileStamp = tuple[int, int]
+
+
+@dataclass
+class WatchReport:
+    """Outcome of one :meth:`LakeWatcher.poll_once` pass."""
+
+    #: Files present in the directory this poll.
+    seen: int = 0
+    #: Files whose stamp changed (or were new) and were re-read.
+    candidates: int = 0
+    sketched: int = 0
+    unchanged: int = 0
+    removed: int = 0
+    prepared: int = 0
+    stale_pruned: int = 0
+    unreadable: list[str] = field(default_factory=list)
+    publish: Optional[PublishReport] = None
+
+    @property
+    def changed(self) -> bool:
+        """True when this poll mutated the stores."""
+        return bool(self.sketched or self.removed or self.prepared or self.stale_pruned)
+
+
+class LakeWatcher:
+    """Polls *data_dir* and incrementally maintains the lake stores.
+
+    Parameters
+    ----------
+    store:
+        The sketch store to keep in sync (this process must be its single
+        writer).
+    data_dir:
+        Directory of one-table-per-file CSVs (table name = file stem).
+    pattern:
+        Glob selecting the files to track (default ``*.csv``).
+    prepared_store / matcher:
+        When both are given, each mutating poll also runs
+        :func:`~repro.lake.build.prepare_lake` so changed tables are
+        re-prepared and stale payloads pruned — replicas stay warm.
+    publish_dir:
+        When set, every mutating poll re-publishes the stores there via
+        :func:`~repro.artifacts.sync.publish_snapshot` (O(delta) thanks to
+        content addressing).
+    workers:
+        Forwarded to the build/prepare process pools.
+    """
+
+    def __init__(
+        self,
+        store: SketchStore,
+        data_dir: Union[str, Path],
+        pattern: str = "*.csv",
+        prepared_store: Optional[PreparedStore] = None,
+        matcher: Optional[BaseMatcher] = None,
+        publish_dir: Optional[Union[str, Path]] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        if (prepared_store is None) != (matcher is None):
+            raise ValueError("prepared_store and matcher must be given together")
+        self.store = store
+        self.data_dir = Path(data_dir)
+        self.pattern = pattern
+        self.prepared_store = prepared_store
+        self.matcher = matcher
+        self.publish_dir = Path(publish_dir) if publish_dir is not None else None
+        self.workers = workers
+        self._stamps: dict[str, _FileStamp] = {}
+
+    # ------------------------------------------------------------------ #
+    # one poll
+    # ------------------------------------------------------------------ #
+    def _scan(self) -> dict[str, _FileStamp]:
+        """Current ``path -> (mtime_ns, size)`` map of the tracked files."""
+        stamps: dict[str, _FileStamp] = {}
+        if not self.data_dir.is_dir():
+            return stamps
+        for path in sorted(self.data_dir.glob(self.pattern)):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced with a delete; next poll settles it
+            if path.is_file():
+                stamps[str(path)] = (stat.st_mtime_ns, stat.st_size)
+        return stamps
+
+    def poll_once(self) -> WatchReport:
+        """Scan the directory once and fold any changes into the stores."""
+        report = WatchReport()
+        with telemetry.span("artifacts.watch.poll", data_dir=str(self.data_dir)):
+            current = self._scan()
+            report.seen = len(current)
+            changed = [
+                path
+                for path, stamp in current.items()
+                if self._stamps.get(path) != stamp
+            ]
+            vanished = [path for path in self._stamps if path not in current]
+            report.candidates = len(changed)
+            if changed:
+                build = build_from_paths(self.store, changed, workers=self.workers)
+                report.sketched = build.sketched
+                report.unchanged = build.unchanged
+                report.unreadable = list(build.unreadable)
+            for path in vanished:
+                # One file, one table: a vanished CSV retires its stem.
+                if self.store.remove_table(Path(path).stem):
+                    report.removed += 1
+            # Record stamps for everything seen — including unchanged and
+            # unreadable files, so a broken CSV is not re-read every poll
+            # (editing it changes its stamp and retriggers).
+            self._stamps = current
+            if report.changed and self.prepared_store is not None:
+                prep = prepare_lake(
+                    self.store,
+                    self.prepared_store,
+                    self.matcher,
+                    workers=self.workers,
+                )
+                report.prepared = prep.prepared
+                report.stale_pruned = prep.stale_pruned
+            if report.changed and self.publish_dir is not None:
+                report.publish = publish_snapshot(
+                    self.store, self.publish_dir, prepared_store=self.prepared_store
+                )
+        telemetry.count("artifacts.watch.polls")
+        if report.changed:
+            telemetry.count("artifacts.watch.changed_polls")
+            telemetry.count("artifacts.watch.sketched", report.sketched)
+            telemetry.count("artifacts.watch.removed", report.removed)
+            logger.info(
+                "watch poll: %d files, %d sketched, %d removed, %d prepared%s",
+                report.seen,
+                report.sketched,
+                report.removed,
+                report.prepared,
+                "" if report.publish is None else ", republished",
+            )
+        return report
+
+    # ------------------------------------------------------------------ #
+    # polling loop
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        interval_s: float = 2.0,
+        max_polls: Optional[int] = None,
+        stop: Optional[threading.Event] = None,
+        on_report: Optional[Callable[[WatchReport], None]] = None,
+    ) -> int:
+        """Poll until *stop* is set (or *max_polls* exhausted); returns polls run.
+
+        *on_report* is invoked after every poll — CLI progress printing,
+        test hooks.  The loop sleeps in small slices so a ``stop`` event is
+        honoured promptly even with long intervals.
+        """
+        polls = 0
+        while max_polls is None or polls < max_polls:
+            if stop is not None and stop.is_set():
+                break
+            report = self.poll_once()
+            polls += 1
+            if on_report is not None:
+                on_report(report)
+            if max_polls is not None and polls >= max_polls:
+                break
+            deadline = time.monotonic() + interval_s
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                if stop is not None and stop.wait(min(remaining, 0.1)):
+                    return polls
+                if stop is None:
+                    time.sleep(remaining)
+                    break
+        return polls

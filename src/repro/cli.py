@@ -17,7 +17,12 @@ Subcommands:
   and inspect store-level statistics;
 * ``lake serve`` — run the long-lived discovery daemon: one warm engine +
   rerank pool behind ``/query`` / ``/stats`` / ``/healthz`` over HTTP
-  (TCP or a unix socket), with bounded admission and live store reopen.
+  (TCP or a unix socket), with bounded admission and live store reopen;
+* ``lake publish`` / ``lake pull`` — export the stores as a
+  content-addressed snapshot artifact and sync replicas from it, fetching
+  only the delta (IBLT reconciliation with full-diff fallback);
+* ``lake watch`` — poll a CSV directory and fold changes into the store
+  incrementally (optionally re-preparing and re-publishing on change).
 
 Observability flags: ``-v/--verbose`` turns on logging for the lake and
 discovery paths (``-vv`` for everything); ``lake query --stats`` prints a
@@ -267,6 +272,112 @@ def build_parser() -> argparse.ArgumentParser:
         "change triggers a graceful engine reopen)",
     )
 
+    publish = lake_commands.add_parser(
+        "publish",
+        help="export the stores as a content-addressed snapshot artifact",
+    )
+    publish.add_argument(
+        "out_dir", type=Path, help="artifact directory (created or updated in place)"
+    )
+    publish.add_argument("--store", type=Path, default=Path("lake.sketches"), help="store path")
+    publish.add_argument(
+        "--prepared-store",
+        type=Path,
+        default=None,
+        help="prepared-candidate store to include (default: <store>.prepared "
+        "when it exists)",
+    )
+    publish.add_argument(
+        "--no-prepared",
+        action="store_true",
+        help="publish sketches only, even when a prepared store exists",
+    )
+    publish.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="keep blobs of superseded snapshots (for shared blob directories)",
+    )
+    publish.add_argument(
+        "--iblt-cells",
+        type=int,
+        default=128,
+        help="cells per IBLT subtable in the manifest; the default decodes "
+        "deltas of roughly 250 keys",
+    )
+
+    pull = lake_commands.add_parser(
+        "pull",
+        help="sync local stores to a published snapshot, fetching only the delta",
+    )
+    pull.add_argument("src", type=Path, help="artifact directory to pull from")
+    pull.add_argument("--store", type=Path, default=Path("lake.sketches"), help="store path")
+    pull.add_argument(
+        "--prepared-store",
+        type=Path,
+        default=None,
+        help="prepared-candidate store to sync (default: <store>.prepared "
+        "when the snapshot carries prepared payloads)",
+    )
+    pull.add_argument(
+        "--no-prepared",
+        action="store_true",
+        help="sync the sketch store only, ignoring the snapshot's prepared payloads",
+    )
+    pull.add_argument(
+        "--keep-missing",
+        action="store_true",
+        help="keep local tables and payloads absent from the snapshot "
+        "(default: remove them so the replica converges exactly)",
+    )
+
+    watch = lake_commands.add_parser(
+        "watch",
+        help="poll a CSV directory and ingest changes into the store incrementally",
+    )
+    watch.add_argument("input", type=Path, help="directory of CSV files (one table each)")
+    watch.add_argument("--store", type=Path, default=Path("lake.sketches"), help="store path")
+    watch.add_argument(
+        "--interval-s",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll interval; idle polls cost one stat() per file",
+    )
+    watch.add_argument(
+        "--max-polls",
+        type=int,
+        default=None,
+        help="stop after this many polls (default: run until interrupted)",
+    )
+    watch.add_argument(
+        "--prepare",
+        metavar="METHOD",
+        default=None,
+        help="also keep the prepared store warm for this matcher after every "
+        "mutating poll (stale payloads are pruned)",
+    )
+    watch.add_argument(
+        "--prepared-store",
+        type=Path,
+        default=None,
+        help="prepared-candidate store path (default: <store>.prepared; "
+        "only used with --prepare)",
+    )
+    watch.add_argument(
+        "--publish",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="re-publish a snapshot artifact there after every mutating poll "
+        "(O(delta) thanks to content addressing)",
+    )
+    watch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for re-sketching and re-preparing",
+    )
+
     return parser
 
 
@@ -288,6 +399,7 @@ def _configure_logging(verbose: int) -> None:
         root.setLevel(logging.INFO)
         logging.getLogger("repro.lake").setLevel(logging.DEBUG)
         logging.getLogger("repro.discovery").setLevel(logging.DEBUG)
+        logging.getLogger("repro.artifacts").setLevel(logging.DEBUG)
     else:
         root.setLevel(logging.DEBUG)
 
@@ -371,16 +483,9 @@ def _command_lake_build(
             csv_paths,
             workers=workers,
             on_unreadable=lambda message: print(message, file=sys.stderr),
+            remove_missing=prune,
         )
-        pruned = 0
-        if prune:
-            # Unreadable CSVs are still present on disk: keep their sketches.
-            current = {path.stem for path in csv_paths}
-            for name in store.table_names:
-                if name not in current:
-                    store.remove_table(name)
-                    pruned += 1
-    suffix = f", {pruned} pruned" if prune else ""
+    suffix = f", {len(report.removed)} pruned" if prune else ""
     if report.unreadable:
         suffix += f", {len(report.unreadable)} unreadable (skipped)"
     if workers and workers > 1:
@@ -416,6 +521,8 @@ def _command_lake_prepare(
     with store, prepared_store:
         report = prepare_lake(store, prepared_store, create_matcher(method), workers=workers)
     suffix = "" if max_bytes is None else f", byte budget {max_store_mb:g} MiB"
+    if report.stale_pruned:
+        suffix += f", {report.stale_pruned} stale payloads pruned"
     if report.missing:
         suffix += f", {len(report.missing)} missing source CSVs (skipped)"
     if report.stale:
@@ -427,6 +534,160 @@ def _command_lake_prepare(
         f"prepared store {resolved_prepared}: {report.prepared} tables prepared "
         f"with {method}, {report.already_stored} already stored{suffix}"
     )
+    return 0
+
+
+def _command_lake_publish(args: argparse.Namespace) -> int:
+    from repro.artifacts import publish_snapshot
+    from repro.discovery.prepared import PreparedStore
+    from repro.lake import SketchStore
+
+    if not args.store.exists():
+        print(f"no sketch store at {args.store}; run `lake build` first", file=sys.stderr)
+        return 1
+    resolved_prepared = args.prepared_store or _default_prepared_store_path(args.store)
+    include_prepared = not args.no_prepared and (
+        args.prepared_store is not None or resolved_prepared.exists()
+    )
+    try:
+        store = SketchStore(args.store)
+        prepared_store = PreparedStore(resolved_prepared) if include_prepared else None
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    with store:
+        try:
+            report = publish_snapshot(
+                store,
+                args.out_dir,
+                prepared_store=prepared_store,
+                iblt_cells_per_subtable=args.iblt_cells,
+                prune=not args.no_prune,
+            )
+        finally:
+            if prepared_store is not None:
+                prepared_store.close()
+    print(
+        f"published {args.out_dir}: snapshot {report.snapshot_id[:12]}, "
+        f"{report.tables} tables, {report.prepared} prepared payloads; "
+        f"{report.blobs_written} blobs written ({report.bytes_written} bytes), "
+        f"{report.blobs_reused} reused, {report.blobs_pruned} pruned"
+    )
+    return 0
+
+
+def _command_lake_pull(args: argparse.Namespace) -> int:
+    from repro.artifacts import Manifest, pull_snapshot
+    from repro.discovery.prepared import PreparedStore
+    from repro.lake import SketchStore
+
+    try:
+        manifest = Manifest.load(args.src)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    resolved_prepared = args.prepared_store or _default_prepared_store_path(args.store)
+    include_prepared = not args.no_prepared and bool(manifest.prepared)
+    try:
+        # A bootstrap pull creates the local store with the snapshot's
+        # sketch config; an existing store with a different config refuses.
+        store = SketchStore(args.store, config=manifest.sketch_config)
+        prepared_store = PreparedStore(resolved_prepared) if include_prepared else None
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    with store:
+        try:
+            report = pull_snapshot(
+                args.src,
+                store,
+                prepared_store=prepared_store,
+                remove_missing=not args.keep_missing,
+            )
+        finally:
+            if prepared_store is not None:
+                prepared_store.close()
+    if report.unchanged:
+        delta = "already in sync"
+    else:
+        delta = (
+            f"+{report.tables_added}/-{report.tables_removed} tables, "
+            f"+{report.prepared_added}/-{report.prepared_removed} prepared"
+        )
+    via = "full diff" if report.iblt_fallback else "iblt delta"
+    print(
+        f"pulled {args.src} -> {args.store}: {delta}; "
+        f"{report.blobs_fetched} blobs fetched ({report.bytes_fetched} bytes), "
+        f"{report.blobs_skipped} already local [{via}]"
+    )
+    if report.corrupt:
+        print(
+            f"warning: skipped {len(report.corrupt)} entries with corrupt blobs",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _command_lake_watch(args: argparse.Namespace) -> int:
+    from repro.artifacts import LakeWatcher, WatchReport
+    from repro.discovery.prepared import PreparedStore
+    from repro.lake import SketchStore
+
+    if not args.input.is_dir():
+        print(f"not a directory: {args.input}", file=sys.stderr)
+        return 1
+    try:
+        store = SketchStore(args.store)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    matcher = None
+    prepared_store = None
+    if args.prepare is not None:
+        resolved_prepared = args.prepared_store or _default_prepared_store_path(args.store)
+        matcher = create_matcher(args.prepare)
+        try:
+            prepared_store = PreparedStore(resolved_prepared)
+        except ValueError as exc:
+            store.close()
+            print(str(exc), file=sys.stderr)
+            return 1
+
+    def _print_report(report: WatchReport) -> None:
+        if not report.changed:
+            return
+        suffix = "" if report.publish is None else (
+            f"; republished {report.publish.snapshot_id[:12]}"
+        )
+        print(
+            f"[watch] {report.seen} files: {report.sketched} sketched, "
+            f"{report.removed} removed, {report.prepared} prepared{suffix}",
+            flush=True,
+        )
+
+    watcher = LakeWatcher(
+        store,
+        args.input,
+        prepared_store=prepared_store,
+        matcher=matcher,
+        publish_dir=args.publish,
+        workers=args.workers,
+    )
+    with store:
+        try:
+            polls = watcher.run(
+                interval_s=args.interval_s,
+                max_polls=args.max_polls,
+                on_report=_print_report,
+            )
+        except KeyboardInterrupt:
+            polls = None
+        finally:
+            if prepared_store is not None:
+                prepared_store.close()
+    suffix = "interrupted" if polls is None else f"{polls} polls"
+    print(f"watch on {args.input} stopped ({suffix}); store {args.store}")
     return 0
 
 
@@ -680,6 +941,12 @@ def main(argv: list[str] | None = None) -> int:
             return _command_lake_stats(args.store, args.prepared_store)
         if args.lake_command == "serve":
             return _command_lake_serve(args)
+        if args.lake_command == "publish":
+            return _command_lake_publish(args)
+        if args.lake_command == "pull":
+            return _command_lake_pull(args)
+        if args.lake_command == "watch":
+            return _command_lake_watch(args)
         return _command_lake_query(
             args.query_csv,
             args.store,

@@ -56,7 +56,7 @@ import sqlite3
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 from repro.data.fingerprint import table_content_hash
 from repro.data.sqlite_store import _MAX_IN_VARS, PerProcessSqliteStore
@@ -488,6 +488,30 @@ class PreparedStore(PerProcessSqliteStore):
         if content_hash is None:
             content_hash = table_content_hash(prepared.table)
         blob = pickle.dumps(prepared, protocol=_PICKLE_PROTOCOL)
+        self.put_raw(
+            prepared.fingerprint,
+            prepared.table.name,
+            content_hash,
+            PREPARED_PAYLOAD_FORMAT,
+            blob,
+        )
+
+    def put_raw(
+        self,
+        fingerprint: str,
+        table_name: str,
+        content_hash: str,
+        payload_format: int,
+        blob: bytes,
+    ) -> None:
+        """Persist one already-pickled payload under an explicit key.
+
+        The import half of snapshot distribution: a puller ships payload
+        blobs verbatim from a published artifact into a replica store
+        without unpickling them (validation happens lazily on first
+        :meth:`get`, exactly as for any other stored row).  LRU recency,
+        entry-count and byte-budget eviction behave as for :meth:`put`.
+        """
         # Settle deferred hit recency first so LRU eviction below never
         # victimises a row that was just served.
         self._flush_touches()
@@ -500,10 +524,10 @@ class PreparedStore(PerProcessSqliteStore):
                 "SET payload_format = excluded.payload_format, "
                 "payload = excluded.payload, last_used = excluded.last_used",
                 (
-                    prepared.fingerprint,
-                    prepared.table.name,
+                    fingerprint,
+                    table_name,
                     content_hash,
-                    PREPARED_PAYLOAD_FORMAT,
+                    payload_format,
                     blob,
                     self._tick(),
                 ),
@@ -519,6 +543,90 @@ class PreparedStore(PerProcessSqliteStore):
             self._evict_over_byte_budget(connection)
         telemetry.count("prepared_store.writes")
         telemetry.count("prepared_store.bytes_written", len(blob))
+
+    def remove_raw(self, fingerprint: str, table_name: str, content_hash: str) -> bool:
+        """Delete one stored payload by key; returns whether it existed.
+
+        The removal half of snapshot sync — a pulled snapshot that no
+        longer carries a payload retires the local row.
+        """
+        self._pending_touches.pop((fingerprint, table_name, content_hash), None)
+        with self._connection:
+            cursor = self._connection.execute(
+                "DELETE FROM prepared WHERE matcher_fingerprint = ? "
+                "AND table_name = ? AND content_hash = ?",
+                (fingerprint, table_name, content_hash),
+            )
+        return cursor.rowcount > 0
+
+    def iter_raw(
+        self, fingerprint: Optional[str] = None
+    ) -> Iterator[tuple[str, str, str, int, bytes]]:
+        """Iterate stored rows as raw ``(fingerprint, name, hash, format,
+        blob)`` tuples — the export hook behind ``lake publish``.
+
+        Only rows carrying the *current* payload format are yielded: a row
+        :meth:`get` would refuse to decode must not be replicated to other
+        nodes.  No LRU recency is recorded (export is not "use").
+        """
+        query = (
+            "SELECT matcher_fingerprint, table_name, content_hash, "
+            "payload_format, payload FROM prepared WHERE payload_format = ?"
+        )
+        parameters: tuple = (PREPARED_PAYLOAD_FORMAT,)
+        if fingerprint is not None:
+            query += " AND matcher_fingerprint = ?"
+            parameters = (PREPARED_PAYLOAD_FORMAT, fingerprint)
+        for row in self._connection.execute(query + " ORDER BY rowid", parameters):
+            yield (row[0], row[1], row[2], int(row[3]), row[4])
+
+    def raw_keys(self) -> list[tuple[str, str, str, int]]:
+        """Keys of every current-format row (no payloads loaded).
+
+        What snapshot pull reconciles against the published manifest: one
+        metadata-only query even for very large stores.
+        """
+        rows = self._connection.execute(
+            "SELECT matcher_fingerprint, table_name, content_hash, payload_format "
+            "FROM prepared WHERE payload_format = ? ORDER BY rowid",
+            (PREPARED_PAYLOAD_FORMAT,),
+        ).fetchall()
+        return [(r[0], r[1], r[2], int(r[3])) for r in rows]
+
+    def prune_stale(self, fingerprint: str, current: dict[str, str]) -> int:
+        """Drop this matcher's rows whose table is gone or whose stored
+        content hash disagrees with *current* ``{table name: hash}``.
+
+        Called by :func:`~repro.lake.build.prepare_lake` with the sketch
+        store's build-time hashes: payloads keyed to superseded content can
+        never be served again (warm lookups key on the build hash), so they
+        are dead weight — and on replicas they would survive table
+        deletions forever.  Returns the number of rows deleted.
+        """
+        rows = self._connection.execute(
+            "SELECT table_name, content_hash FROM prepared "
+            "WHERE matcher_fingerprint = ?",
+            (fingerprint,),
+        ).fetchall()
+        victims = [
+            (table_name, content_hash)
+            for table_name, content_hash in rows
+            if current.get(table_name) != content_hash
+        ]
+        if not victims:
+            return 0
+        with self._connection:
+            for table_name, content_hash in victims:
+                self._pending_touches.pop(
+                    (fingerprint, table_name, content_hash), None
+                )
+                self._connection.execute(
+                    "DELETE FROM prepared WHERE matcher_fingerprint = ? "
+                    "AND table_name = ? AND content_hash = ?",
+                    (fingerprint, table_name, content_hash),
+                )
+        telemetry.count("prepared_store.stale_pruned", len(victims))
+        return len(victims)
 
     def _evict_over_byte_budget(self, connection: sqlite3.Connection) -> None:
         """Evict LRU rows until the summed payload size fits ``max_bytes``.

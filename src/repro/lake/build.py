@@ -48,6 +48,8 @@ class BuildReport:
     sketched: int = 0
     unchanged: int = 0
     unreadable: list[str] = field(default_factory=list)
+    #: Stale tables dropped because their CSV is gone (``remove_missing``).
+    removed: list[str] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -66,6 +68,9 @@ class PrepareReport:
     #: hash, but warm lookups keyed on the stale build hash will miss until
     #: the lake is rebuilt.
     stale: list[str] = field(default_factory=list)
+    #: Stored payloads dropped because their build-time content hash no
+    #: longer matches the sketch store (table re-sketched or removed).
+    stale_pruned: int = 0
 
 
 def _effective_workers(workers: Optional[int], num_tasks: int) -> int:
@@ -105,6 +110,7 @@ def build_from_paths(
     csv_paths: Sequence[Union[str, Path]],
     workers: Optional[int] = None,
     on_unreadable: Optional[Callable[[str], None]] = None,
+    remove_missing: bool = False,
 ) -> BuildReport:
     """(Re)build *store* from CSV files, optionally with a process pool.
 
@@ -121,6 +127,11 @@ def build_from_paths(
     on_unreadable:
         Optional callback invoked with a human-readable message for every
         CSV that could not be parsed (the table is skipped).
+    remove_missing:
+        Also drop stored tables that no longer appear in *csv_paths* —
+        ``lake build --prune`` semantics.  Tables whose CSV is present but
+        currently unreadable are kept (a transient parse error should not
+        destroy a good sketch).
     """
     report = BuildReport()
     # One batched store round trip for the known hashes, not one per CSV.
@@ -132,13 +143,31 @@ def build_from_paths(
     effective = _effective_workers(workers, len(tasks))
     if effective == 1:
         outcomes = map(_read_and_sketch, tasks)
-        return _commit_build(store, outcomes, report, on_unreadable)
-    # Batched map keeps per-task pickling overhead low: each worker receives
-    # a slice of paths and returns a slice of sketches.
-    chunksize = max(1, len(tasks) // (effective * 4))
-    with ProcessPoolExecutor(max_workers=effective) as pool:
-        outcomes = pool.map(_read_and_sketch, tasks, chunksize=chunksize)
-        return _commit_build(store, outcomes, report, on_unreadable)
+        _commit_build(store, outcomes, report, on_unreadable)
+    else:
+        # Batched map keeps per-task pickling overhead low: each worker
+        # receives a slice of paths and returns a slice of sketches.
+        chunksize = max(1, len(tasks) // (effective * 4))
+        with ProcessPoolExecutor(max_workers=effective) as pool:
+            outcomes = pool.map(_read_and_sketch, tasks, chunksize=chunksize)
+            _commit_build(store, outcomes, report, on_unreadable)
+    if remove_missing:
+        _remove_missing(store, csv_paths, report)
+    return report
+
+
+def _remove_missing(
+    store: SketchStore,
+    csv_paths: Sequence[Union[str, Path]],
+    report: BuildReport,
+) -> None:
+    current = {Path(path).stem for path in csv_paths}
+    for name in store.table_names:
+        if name in current:
+            continue  # present (even if unreadable this run)
+        if store.remove_table(name):
+            report.removed.append(name)
+            logger.info("pruned stale table %r (source CSV gone)", name)
 
 
 def _commit_build(
@@ -214,6 +243,13 @@ def prepare_lake(
     # point queries per lake table.  The probe never unpickles payloads.
     names = store.table_names
     meta = store.table_meta(names)
+    # Drop this matcher's payloads whose build-time content hash no longer
+    # matches the sketch store (table re-sketched or removed) *before*
+    # preparing, so rows written below can never be collateral damage.
+    report.stale_pruned = prepared_store.prune_stale(
+        fingerprint,
+        {name: content_hash for name, (content_hash, _) in meta.items() if content_hash},
+    )
     stored = prepared_store.contains_many(
         fingerprint,
         [(name, meta[name][0]) for name in names if name in meta and meta[name][0]],

@@ -36,7 +36,6 @@ from __future__ import annotations
 import csv
 import logging
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Union
 
@@ -148,21 +147,16 @@ class LakeDiscoveryEngine:
     _owns_pool: bool = field(default=False, repr=False, init=False)
     _closed: bool = field(default=False, repr=False, init=False)
 
-    @property
-    def last_store_hits(self) -> int:
-        """Deprecated alias for :attr:`last_query_stats` ``.store_hits``.
+    def __post_init__(self) -> None:
+        # Immediate invalidation: the store tells us about every committed
+        # remove_table, so a deletion can never leave a dangling candidate
+        # name in a shortlist — even one built before the index's next
+        # store-version probe would have noticed.
+        self.store.add_removal_listener(self._on_table_removed)
 
-        How many of the last :meth:`query`'s candidates were served straight
-        from the prepared store (no CSV read, no prepare).  Prefer
-        ``engine.last_query_stats.store_hits``.
-        """
-        warnings.warn(
-            "LakeDiscoveryEngine.last_store_hits is deprecated; read "
-            "engine.last_query_stats.store_hits instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._store_hits
+    def _on_table_removed(self, name: str) -> None:
+        if self._index is not None:
+            self._index.remove(name)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -181,6 +175,7 @@ class LakeDiscoveryEngine:
         if self._closed:
             return
         self._closed = True
+        self.store.remove_removal_listener(self._on_table_removed)
         if self.rerank_pool is not None and self._owns_pool:
             self.rerank_pool.close()
             self.rerank_pool = None
@@ -254,6 +249,20 @@ class LakeDiscoveryEngine:
                     self._index.add(sketch)
         self._index_version = store_version
         return self._index
+
+    def refresh_index(self) -> LakeIndex:
+        """Discard the cached LSH index and rebuild it from the store.
+
+        The incremental refresh in :attr:`index` (plus the store's removal
+        listener) keeps the index correct on its own; this is the explicit
+        big hammer for callers that mutated the store out-of-band — e.g. a
+        replica that just applied a large :func:`~repro.artifacts.sync.
+        pull_snapshot` — and want the rebuild cost paid now, not on the
+        next query.
+        """
+        self._index = None
+        self._index_version = -1
+        return self.index
 
     # ------------------------------------------------------------------ #
     # queries

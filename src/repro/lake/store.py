@@ -29,7 +29,7 @@ import json
 import logging
 import sqlite3
 from pathlib import Path
-from typing import Iterator, Optional, Sequence, Union
+from typing import Callable, Iterator, Optional, Sequence, Union
 
 from repro.data.sqlite_store import _MAX_IN_VARS, PerProcessSqliteStore
 from repro.data.table import Table
@@ -133,6 +133,11 @@ class SketchStore(PerProcessSqliteStore):
         config: Optional[SketchConfig] = None,
         read_only: bool = False,
     ) -> None:
+        #: Callbacks fired with the table name after a successful
+        #: :meth:`remove_table` commit — how derived in-memory structures
+        #: (the engine's LSH index) invalidate a deleted table immediately
+        #: instead of waiting for their next version probe.
+        self._removal_listeners: list[Callable[[str], None]] = []
         connection = self._init_connections(path, read_only)
         stored = self._read_meta("sketch_config")
         if stored is None:
@@ -306,7 +311,12 @@ class SketchStore(PerProcessSqliteStore):
             self._bump_version()
 
     def remove_table(self, name: str) -> bool:
-        """Drop the sketch of *name*; returns whether it existed."""
+        """Drop the sketch of *name*; returns whether it existed.
+
+        Registered removal listeners (see :meth:`add_removal_listener`) are
+        notified after the delete commits, so anything derived from the
+        store can retire the table before its next read.
+        """
         with self._connection:
             cursor = self._connection.execute(
                 "DELETE FROM tables WHERE name = ?", (name,)
@@ -314,7 +324,20 @@ class SketchStore(PerProcessSqliteStore):
             if cursor.rowcount == 0:
                 return False
             self._bump_version()
+        for listener in list(self._removal_listeners):
+            listener(name)
         return True
+
+    def add_removal_listener(self, listener: Callable[[str], None]) -> None:
+        """Call *listener(name)* after every committed :meth:`remove_table`."""
+        self._removal_listeners.append(listener)
+
+    def remove_removal_listener(self, listener: Callable[[str], None]) -> None:
+        """Unregister a listener added with :meth:`add_removal_listener`."""
+        try:
+            self._removal_listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------ #
     # reads

@@ -9,8 +9,8 @@ count, prepared-store hits, stage wall-clock) are always measured — two
 query, the full per-query :class:`TelemetrySnapshot` (per-stage duration
 histograms, store/LSH/pool counters, trace spans) is attached.
 
-It replaces the old ``engine.last_store_hits`` side-channel attribute,
-which survives as a deprecated alias reading :attr:`QueryStats.store_hits`.
+It replaced the old ``engine.last_store_hits`` side-channel attribute
+(deprecated in PR 6, removed in PR 8).
 """
 
 from __future__ import annotations

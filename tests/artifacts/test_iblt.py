@@ -1,0 +1,90 @@
+"""Unit tests of the IBLT set-reconciliation sketch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifacts.iblt import IBLTSketch, key_fingerprint
+
+
+def _keys(prefix: str, count: int) -> list[str]:
+    return [f"{prefix}{i}" for i in range(count)]
+
+
+class TestFingerprint:
+    def test_stable_and_distinct(self):
+        assert key_fingerprint("t|a|h1") == key_fingerprint("t|a|h1")
+        assert key_fingerprint("t|a|h1") != key_fingerprint("t|a|h2")
+        assert 0 <= key_fingerprint("anything") < 2**64
+
+
+class TestDecode:
+    def test_identical_sets_decode_empty(self):
+        a = IBLTSketch.from_keys(_keys("k", 50))
+        b = IBLTSketch.from_keys(_keys("k", 50))
+        decoded = a.subtract(b).decode()
+        assert decoded is not None
+        assert decoded.only_in_self == frozenset()
+        assert decoded.only_in_other == frozenset()
+
+    def test_recovers_two_sided_difference(self):
+        shared = _keys("s", 200)
+        a = IBLTSketch.from_keys(shared + _keys("a", 7))
+        b = IBLTSketch.from_keys(shared + _keys("b", 5))
+        decoded = a.subtract(b).decode()
+        assert decoded is not None
+        assert decoded.only_in_self == frozenset(
+            key_fingerprint(k) for k in _keys("a", 7)
+        )
+        assert decoded.only_in_other == frozenset(
+            key_fingerprint(k) for k in _keys("b", 5)
+        )
+
+    def test_decode_does_not_mutate(self):
+        a = IBLTSketch.from_keys(_keys("a", 10))
+        b = IBLTSketch.from_keys(_keys("b", 10))
+        diff = a.subtract(b)
+        first = diff.decode()
+        second = diff.decode()
+        assert first is not None and second is not None
+        assert first.only_in_self == second.only_in_self
+        assert first.only_in_other == second.only_in_other
+
+    def test_overflow_returns_none(self):
+        """A difference far beyond capacity must peel-fail, not mis-decode."""
+        a = IBLTSketch.from_keys(_keys("a", 60), cells_per_subtable=4)
+        b = IBLTSketch.from_keys([], cells_per_subtable=4)
+        assert a.subtract(b).decode() is None
+
+    def test_shape_mismatch_refuses(self):
+        a = IBLTSketch(cells_per_subtable=64)
+        b = IBLTSketch(cells_per_subtable=128)
+        with pytest.raises(ValueError, match="shape"):
+            a.subtract(b)
+
+
+class TestSerialisation:
+    def test_dict_round_trip_preserves_decode(self):
+        a = IBLTSketch.from_keys(_keys("x", 120))
+        restored = IBLTSketch.from_dict(a.to_dict())
+        b = IBLTSketch.from_keys(_keys("x", 118))  # two keys missing
+        decoded = restored.subtract(b).decode()
+        assert decoded is not None
+        assert decoded.only_in_self == frozenset(
+            key_fingerprint(k) for k in ("x118", "x119")
+        )
+
+    def test_json_safe(self):
+        import json
+
+        payload = json.dumps(IBLTSketch.from_keys(_keys("j", 9)).to_dict())
+        restored = IBLTSketch.from_dict(json.loads(payload))
+        decoded = restored.subtract(IBLTSketch()).decode()
+        assert decoded is not None
+        assert len(decoded.only_in_self) == 9
+
+    def test_bad_shape_rejected(self):
+        data = IBLTSketch(cells_per_subtable=8).to_dict()
+        data["counts"] = data["counts"][:-1]
+        with pytest.raises(ValueError, match="shape"):
+            IBLTSketch.from_dict(data)

@@ -1,0 +1,237 @@
+"""Snapshot round-trip contracts: publish → pull reproduces the lake exactly.
+
+The ISSUE-level guarantees pinned here:
+
+* publish → wipe → pull reproduces a **byte-identical query ranking** for
+  all eight registered matchers (sketches and prepared payloads both
+  travel);
+* a pull into a non-empty diverged store fetches **only the delta**
+  (blob-fetch counters, both report- and telemetry-level);
+* IBLT decode failure falls back to the full manifest diff with the
+  ``artifacts.iblt.decode_fallback`` telemetry counter recorded — and
+  still converges.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.artifacts import Manifest, publish_snapshot, pull_snapshot
+from repro.data.csv_io import write_csv
+from repro.datasets import tpcdi_prospect_table
+from repro.discovery.prepared import PreparedStore
+from repro.lake import LakeDiscoveryEngine, SketchStore, build_from_paths, prepare_lake
+from repro.lake.profiles import SketchConfig
+from repro.matchers.registry import available_matchers, create_matcher
+from repro.telemetry import TelemetryRecorder, use
+
+#: One lightweight configuration per registered matcher (mirrors the
+#: prepared-store round-trip test) so full-coverage stays seconds-scale.
+_LIGHT_CONFIGS: dict[str, dict[str, object]] = {
+    "embdi": {
+        "dimensions": 16,
+        "sentence_length": 8,
+        "walks_per_node": 2,
+        "epochs": 1,
+        "max_rows": 6,
+    },
+    "semprop": {"num_permutations": 32, "sample_size": 50},
+    "comainstance": {"sample_size": 50},
+    "distributionbased": {"sample_size": 50},
+    "jaccardlevenshtein": {"sample_size": 20},
+}
+
+_NUM_TABLES = 3
+
+
+def _build_lake(tmp_path, num_tables=_NUM_TABLES, seed0=30):
+    lake_dir = tmp_path / "lake"
+    lake_dir.mkdir(exist_ok=True)
+    for i in range(num_tables):
+        table = tpcdi_prospect_table(num_rows=14, seed=seed0 + i).rename(f"table_{i}")
+        write_csv(table, lake_dir / f"{table.name}.csv")
+    store = SketchStore(tmp_path / "lake.sketches")
+    build_from_paths(store, sorted(lake_dir.glob("*.csv")))
+    return store, lake_dir
+
+
+def _ranking_bytes(store, prepared_store, matcher, query):
+    """The fully serialised ranking — byte-identical means pickle-equal."""
+    with LakeDiscoveryEngine(
+        matcher=matcher, store=store, prepared_store=prepared_store
+    ) as engine:
+        results = engine.query(query, mode="combined")
+    return pickle.dumps(
+        [(r.table_name, r.scores, r.matches) for r in results], protocol=4
+    )
+
+
+class TestPublishPullRoundTrip:
+    def test_byte_identical_rankings_for_every_matcher(self, tmp_path):
+        """publish → wipe → pull: the replica answers exactly like the
+        publisher, for all eight matchers, without any CSVs of its own."""
+        store, _ = _build_lake(tmp_path)
+        query = tpcdi_prospect_table(num_rows=14, seed=99).rename("query_table")
+        artifact = tmp_path / "artifact"
+        for name in sorted(available_matchers()):
+            matcher = create_matcher(name, **_LIGHT_CONFIGS.get(name, {}))
+            with PreparedStore(tmp_path / f"{name}.prepared") as prepared_store:
+                prepare_lake(store, prepared_store, matcher)
+                # Publish before querying: the query below write-throughs its
+                # own prepared payload, which belongs to no snapshot.
+                publish_snapshot(store, artifact, prepared_store=prepared_store)
+                expected = _ranking_bytes(store, prepared_store, matcher, query)
+            # "Wipe": brand-new store files, nothing shared with the source.
+            with SketchStore(tmp_path / f"{name}.replica") as replica, PreparedStore(
+                tmp_path / f"{name}.replica.prepared"
+            ) as replica_prepared:
+                report = pull_snapshot(artifact, replica, prepared_store=replica_prepared)
+                assert report.tables_added == _NUM_TABLES
+                assert report.prepared_added == _NUM_TABLES
+                actual = _ranking_bytes(replica, replica_prepared, matcher, query)
+            assert actual == expected, f"{name}: replica ranking diverged"
+        store.close()
+
+    def test_replica_needs_no_csvs(self, tmp_path):
+        """The warm path serves every candidate from pulled payloads — the
+        replica ranks tables whose source CSVs it has never seen."""
+        store, _ = _build_lake(tmp_path)
+        matcher = create_matcher("jaccardlevenshtein", sample_size=20)
+        with PreparedStore(tmp_path / "pub.prepared") as prepared_store:
+            prepare_lake(store, prepared_store, matcher)
+            publish_snapshot(store, tmp_path / "artifact", prepared_store=prepared_store)
+        store.close()
+        query = tpcdi_prospect_table(num_rows=14, seed=99).rename("q")
+        with SketchStore(tmp_path / "replica") as replica, PreparedStore(
+            tmp_path / "replica.prepared"
+        ) as replica_prepared:
+            pull_snapshot(tmp_path / "artifact", replica, prepared_store=replica_prepared)
+            with LakeDiscoveryEngine(
+                matcher=matcher, store=replica, prepared_store=replica_prepared
+            ) as engine:
+                results = engine.query(query)
+                assert len(results) == _NUM_TABLES
+                assert engine.last_query_stats.store_hits == _NUM_TABLES
+
+
+class TestDeltaPull:
+    def test_diverged_store_fetches_only_the_delta(self, tmp_path):
+        store, lake_dir = _build_lake(tmp_path, num_tables=8)
+        publish_snapshot(store, tmp_path / "artifact")
+        # Replica syncs fully once.
+        replica = SketchStore(tmp_path / "replica")
+        first = pull_snapshot(tmp_path / "artifact", replica)
+        assert first.blobs_fetched == 8
+        # Publisher diverges: one changed, one new, one deleted.
+        write_csv(
+            tpcdi_prospect_table(num_rows=20, seed=77).rename("table_0"),
+            lake_dir / "table_0.csv",
+        )
+        write_csv(
+            tpcdi_prospect_table(num_rows=14, seed=88).rename("table_new"),
+            lake_dir / "table_new.csv",
+        )
+        (lake_dir / "table_1.csv").unlink()
+        build_from_paths(
+            store, sorted(lake_dir.glob("*.csv")), remove_missing=True
+        )
+        publish_snapshot(store, tmp_path / "artifact")
+        recorder = TelemetryRecorder()
+        with use(recorder):
+            report = pull_snapshot(tmp_path / "artifact", replica)
+        # Only the changed + new blobs cross; the six shared ones do not.
+        assert report.blobs_fetched == 2
+        assert report.blobs_skipped == 6
+        assert report.tables_added == 2
+        assert report.tables_removed == 1
+        assert report.iblt_decoded == 1 and report.iblt_fallback == 0
+        counters = recorder.snapshot().counters
+        assert counters.get("artifacts.pull.blobs_fetched") == 2
+        assert counters.get("artifacts.pull.blobs_skipped") == 6
+        assert counters.get("artifacts.iblt.decode_success") == 1
+        assert sorted(replica.table_names) == sorted(store.table_names)
+        for name in store.table_names:
+            assert replica.content_hash(name) == store.content_hash(name)
+        replica.close()
+        store.close()
+
+    def test_idempotent_pull_is_free(self, tmp_path):
+        store, _ = _build_lake(tmp_path)
+        publish_snapshot(store, tmp_path / "artifact")
+        replica = SketchStore(tmp_path / "replica")
+        pull_snapshot(tmp_path / "artifact", replica)
+        version_before = replica.version
+        again = pull_snapshot(tmp_path / "artifact", replica)
+        assert again.unchanged
+        assert again.blobs_fetched == 0
+        assert replica.version == version_before  # no spurious generation bump
+        replica.close()
+        store.close()
+
+
+class TestIBLTFallback:
+    def test_undecodable_delta_falls_back_to_full_diff(self, tmp_path):
+        """A manifest IBLT too small for the difference must not break the
+        pull: full-diff fallback converges and the counter records it."""
+        store, _ = _build_lake(tmp_path, num_tables=6)
+        # One cell per subtable cannot peel a 6-key bootstrap difference.
+        publish_snapshot(store, tmp_path / "artifact", iblt_cells_per_subtable=1)
+        replica = SketchStore(tmp_path / "replica")
+        recorder = TelemetryRecorder()
+        with use(recorder):
+            report = pull_snapshot(tmp_path / "artifact", replica)
+        assert report.iblt_fallback == 1 and report.iblt_decoded == 0
+        assert report.tables_added == 6
+        counters = recorder.snapshot().counters
+        assert counters.get("artifacts.iblt.decode_fallback") == 1
+        assert "artifacts.iblt.decode_success" not in counters
+        assert sorted(replica.table_names) == sorted(store.table_names)
+        replica.close()
+        store.close()
+
+
+class TestSafety:
+    def test_config_mismatch_refused(self, tmp_path):
+        store, _ = _build_lake(tmp_path)
+        publish_snapshot(store, tmp_path / "artifact")
+        store.close()
+        other = SketchStore(
+            tmp_path / "other.sketches", config=SketchConfig(num_permutations=32)
+        )
+        with pytest.raises(ValueError, match="refusing to mix"):
+            pull_snapshot(tmp_path / "artifact", other)
+        other.close()
+
+    def test_corrupt_blob_is_skipped_not_committed(self, tmp_path):
+        store, _ = _build_lake(tmp_path)
+        publish_snapshot(store, tmp_path / "artifact")
+        manifest = Manifest.load(tmp_path / "artifact")
+        victim = manifest.tables[0]
+        blob_path = (
+            tmp_path / "artifact" / "blobs" / victim.digest[:2] / victim.digest
+        )
+        blob_path.write_bytes(b'{"tampered": true}')
+        replica = SketchStore(tmp_path / "replica")
+        report = pull_snapshot(tmp_path / "artifact", replica)
+        assert victim.name in report.corrupt
+        assert report.tables_added == _NUM_TABLES - 1
+        assert victim.name not in replica.table_names
+        replica.close()
+        store.close()
+
+    def test_republish_in_place_prunes_superseded_blobs(self, tmp_path):
+        store, lake_dir = _build_lake(tmp_path)
+        first = publish_snapshot(store, tmp_path / "artifact")
+        write_csv(
+            tpcdi_prospect_table(num_rows=22, seed=70).rename("table_0"),
+            lake_dir / "table_0.csv",
+        )
+        build_from_paths(store, sorted(lake_dir.glob("*.csv")))
+        second = publish_snapshot(store, tmp_path / "artifact")
+        assert second.snapshot_id != first.snapshot_id
+        assert second.blobs_written == 1  # only the changed table
+        assert second.blobs_reused == _NUM_TABLES - 1
+        assert second.blobs_pruned == 1  # the superseded table_0 blob
+        store.close()

@@ -1,0 +1,146 @@
+"""Incremental ingestion: the watcher folds directory changes into the lake."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.artifacts import LakeWatcher, Manifest
+from repro.data.csv_io import write_csv
+from repro.datasets import tpcdi_prospect_table
+from repro.discovery.prepared import PreparedStore
+from repro.lake import SketchStore
+from repro.matchers.registry import create_matcher
+
+
+def _write_table(lake_dir, name, seed, num_rows=12):
+    table = tpcdi_prospect_table(num_rows=num_rows, seed=seed).rename(name)
+    write_csv(table, lake_dir / f"{name}.csv")
+
+
+@pytest.fixture
+def lake_dir(tmp_path):
+    directory = tmp_path / "lake"
+    directory.mkdir()
+    for i in range(3):
+        _write_table(directory, f"t{i}", seed=40 + i)
+    return directory
+
+
+class TestPollSemantics:
+    def test_first_poll_ingests_everything(self, tmp_path, lake_dir):
+        with SketchStore(tmp_path / "w.sketches") as store:
+            watcher = LakeWatcher(store, lake_dir)
+            report = watcher.poll_once()
+            assert report.seen == 3 and report.sketched == 3
+            assert report.changed
+            assert sorted(store.table_names) == ["t0", "t1", "t2"]
+
+    def test_idle_poll_reads_nothing(self, tmp_path, lake_dir):
+        with SketchStore(tmp_path / "w.sketches") as store:
+            watcher = LakeWatcher(store, lake_dir)
+            watcher.poll_once()
+            version = store.version
+            report = watcher.poll_once()
+            assert report.candidates == 0 and not report.changed
+            assert store.version == version
+
+    def test_touch_rereads_but_never_resketches(self, tmp_path, lake_dir):
+        """An mtime bump without content change passes the prefilter but the
+        content-hash check stops it from mutating the store."""
+        with SketchStore(tmp_path / "w.sketches") as store:
+            watcher = LakeWatcher(store, lake_dir)
+            watcher.poll_once()
+            version = store.version
+            os.utime(lake_dir / "t0.csv", (10**9, 10**9))
+            report = watcher.poll_once()
+            assert report.candidates == 1
+            assert report.sketched == 0 and report.unchanged == 1
+            assert store.version == version
+            # And the stamp was recorded: the touch is not re-read forever.
+            assert watcher.poll_once().candidates == 0
+
+    def test_content_change_resketches_only_that_table(self, tmp_path, lake_dir):
+        with SketchStore(tmp_path / "w.sketches") as store:
+            watcher = LakeWatcher(store, lake_dir)
+            watcher.poll_once()
+            before = store.content_hash("t1")
+            _write_table(lake_dir, "t1", seed=99, num_rows=20)
+            report = watcher.poll_once()
+            assert report.candidates == 1 and report.sketched == 1
+            assert store.content_hash("t1") != before
+
+    def test_deleted_csv_retires_its_table(self, tmp_path, lake_dir):
+        with SketchStore(tmp_path / "w.sketches") as store:
+            watcher = LakeWatcher(store, lake_dir)
+            watcher.poll_once()
+            (lake_dir / "t2.csv").unlink()
+            report = watcher.poll_once()
+            assert report.removed == 1
+            assert sorted(store.table_names) == ["t0", "t1"]
+
+    def test_new_csv_is_ingested(self, tmp_path, lake_dir):
+        with SketchStore(tmp_path / "w.sketches") as store:
+            watcher = LakeWatcher(store, lake_dir)
+            watcher.poll_once()
+            _write_table(lake_dir, "t9", seed=77)
+            report = watcher.poll_once()
+            assert report.sketched == 1
+            assert "t9" in store.table_names
+
+
+class TestPrepareAndPublish:
+    def test_mutating_poll_keeps_prepared_store_warm(self, tmp_path, lake_dir):
+        matcher = create_matcher("jaccardlevenshtein", sample_size=20)
+        with SketchStore(tmp_path / "w.sketches") as store, PreparedStore(
+            tmp_path / "w.prepared"
+        ) as prepared_store:
+            watcher = LakeWatcher(
+                store, lake_dir, prepared_store=prepared_store, matcher=matcher
+            )
+            report = watcher.poll_once()
+            assert report.prepared == 3
+            # Change one table: exactly one re-prepare, one stale row pruned.
+            _write_table(lake_dir, "t0", seed=91, num_rows=18)
+            report = watcher.poll_once()
+            assert report.sketched == 1
+            assert report.prepared == 1
+            assert report.stale_pruned == 1
+            assert len(prepared_store.raw_keys()) == 3
+
+    def test_prepared_store_requires_matcher(self, tmp_path, lake_dir):
+        with SketchStore(tmp_path / "w.sketches") as store, PreparedStore(
+            tmp_path / "w.prepared"
+        ) as prepared_store:
+            with pytest.raises(ValueError, match="together"):
+                LakeWatcher(store, lake_dir, prepared_store=prepared_store)
+
+    def test_publish_dir_republishes_on_change_only(self, tmp_path, lake_dir):
+        artifact = tmp_path / "artifact"
+        with SketchStore(tmp_path / "w.sketches") as store:
+            watcher = LakeWatcher(store, lake_dir, publish_dir=artifact)
+            first = watcher.poll_once()
+            assert first.publish is not None
+            snapshot_id = Manifest.load(artifact).snapshot_id
+            idle = watcher.poll_once()
+            assert idle.publish is None  # no change, no republish
+            _write_table(lake_dir, "t1", seed=55, num_rows=16)
+            changed = watcher.poll_once()
+            assert changed.publish is not None
+            assert Manifest.load(artifact).snapshot_id != snapshot_id
+
+
+class TestRunLoop:
+    def test_run_honours_max_polls_and_stop(self, tmp_path, lake_dir):
+        with SketchStore(tmp_path / "w.sketches") as store:
+            watcher = LakeWatcher(store, lake_dir)
+            reports = []
+            polls = watcher.run(
+                interval_s=0.01, max_polls=3, on_report=reports.append
+            )
+            assert polls == 3 and len(reports) == 3
+            stop = threading.Event()
+            stop.set()
+            assert watcher.run(interval_s=0.01, stop=stop) == 0

@@ -8,8 +8,8 @@ Regressions pinned here:
 * ``owns_stores=True`` hands store lifetime to the engine (the daemon's
   per-generation sessions lean on this), while the default leaves caller
   stores untouched;
-* ``last_store_hits`` warns ``DeprecationWarning`` and keeps aliasing
-  ``last_query_stats.store_hits`` (the PR 6 deprecation contract);
+* the ``last_store_hits`` alias (deprecated in PR 6) is gone —
+  ``last_query_stats.store_hits`` is the only surface;
 * ``query_many`` answers exactly like sequential ``query`` calls.
 """
 
@@ -93,23 +93,16 @@ class TestIdempotentClose:
         engine.close()
 
 
-class TestLastStoreHitsDeprecation:
-    def test_warns_and_aliases_query_stats(self, warm_setup):
+class TestLastStoreHitsRemoval:
+    def test_legacy_attribute_is_gone(self, warm_setup):
+        """The PR 6 deprecation ran its course: the alias no longer exists
+        and ``QueryStats.store_hits`` is the only way to read the number."""
         matcher, store, prepared_store, query = warm_setup
         with LakeDiscoveryEngine(
             matcher=matcher, store=store, prepared_store=prepared_store
         ) as engine:
             engine.query(query, top_k=2)
-            with pytest.warns(DeprecationWarning, match="last_query_stats"):
-                legacy = engine.last_store_hits
-            assert legacy == engine.last_query_stats.store_hits == 4
-
-    def test_reading_query_stats_does_not_warn(self, warm_setup):
-        matcher, store, prepared_store, query = warm_setup
-        with LakeDiscoveryEngine(
-            matcher=matcher, store=store, prepared_store=prepared_store
-        ) as engine:
-            engine.query(query, top_k=2)
+            assert not hasattr(engine, "last_store_hits")
             with warnings.catch_warnings():
                 warnings.simplefilter("error", DeprecationWarning)
                 assert engine.last_query_stats.store_hits == 4

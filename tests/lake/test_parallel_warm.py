@@ -283,8 +283,7 @@ class TestTelemetryParity:
             assert stats.shortlist_size == _NUM_TABLES
             assert stats.rerank_count == _NUM_TABLES
             assert stats.total_seconds > 0.0
-            with pytest.warns(DeprecationWarning):
-                assert stats.store_hits == engine.last_store_hits
+            assert stats.store_hits == _NUM_TABLES
 
 
 class TestWorkerWriteThrough:
