@@ -13,6 +13,7 @@ the stores (and optionally re-publishing) incrementally.
 
 from repro.artifacts.blobs import BlobStore, blob_digest
 from repro.artifacts.iblt import IBLTDecodeResult, IBLTSketch, key_fingerprint
+from repro.artifacts.journal import PullJournal
 from repro.artifacts.manifest import (
     BLOBS_DIR,
     MANIFEST_FORMAT,
@@ -29,21 +30,34 @@ from repro.artifacts.sync import (
     publish_snapshot,
     pull_snapshot,
 )
+from repro.artifacts.transport import (
+    ArtifactTransport,
+    FaultyTransport,
+    LocalTransport,
+    RetryPolicy,
+    TransportError,
+)
 from repro.artifacts.watch import LakeWatcher, WatchReport
 
 __all__ = [
     "BLOBS_DIR",
     "MANIFEST_FORMAT",
     "MANIFEST_NAME",
+    "ArtifactTransport",
     "BlobStore",
+    "FaultyTransport",
     "IBLTDecodeResult",
     "IBLTSketch",
     "LakeWatcher",
+    "LocalTransport",
     "Manifest",
     "PreparedEntry",
     "PublishReport",
+    "PullJournal",
     "PullReport",
+    "RetryPolicy",
     "TableEntry",
+    "TransportError",
     "WatchReport",
     "blob_digest",
     "decode_sketch_blob",

@@ -85,6 +85,19 @@ class BlobStore:
             raise
         return digest, True
 
+    def read_raw(self, digest: str) -> bytes:
+        """Load one blob's bytes **without** digest verification.
+
+        This is the transport-layer read: a puller fetching over a possibly
+        lossy channel re-hashes the bytes itself against the manifest, so
+        verifying here as well would just hash everything twice.  Raises
+        ``KeyError`` when the blob is absent.
+        """
+        try:
+            return self._path_of(digest).read_bytes()
+        except OSError:
+            raise KeyError(f"no blob {digest}") from None
+
     def read(self, digest: str) -> bytes:
         """Load and verify one blob.
 
@@ -95,10 +108,7 @@ class BlobStore:
         ValueError
             When the stored bytes do not hash to their name (corruption).
         """
-        try:
-            data = self._path_of(digest).read_bytes()
-        except OSError:
-            raise KeyError(f"no blob {digest}") from None
+        data = self.read_raw(digest)
         if blob_digest(data) != digest:
             raise ValueError(
                 f"blob {digest} is corrupt: content does not match its address"

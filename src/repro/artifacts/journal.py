@@ -1,0 +1,176 @@
+"""Crash-safe pull journal: resume an interrupted `lake pull` where it died.
+
+A pull that fetches 100k blobs and dies at blob 99k should not start over.
+The journal is an append-only JSONL file next to the replica store:
+
+* a **header** line naming the snapshot being pulled,
+* one **entry** line per manifest key *after* its blob has been digest-
+  verified and committed to the local store,
+* a **completion** line when the pull finishes.
+
+Append-only JSONL is the crash-safety trick: every line is flushed before
+the next commit begins, a torn final line (the crash write) is detected and
+ignored on replay, and there is no in-place mutation to corrupt.  On
+restart, :meth:`PullJournal.begin` replays the file — if it records an
+*incomplete* pull of the *same* snapshot, the recorded keys are handed back
+as already-verified and the pull skips straight to the remainder.  A
+different snapshot id (the publisher moved on) or a completed record voids
+the journal and the pull starts clean.
+
+The journal records *keys*, not digests: a key commits exactly one store
+row, so "key journaled" == "row durably committed before we advanced".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["PullJournal"]
+
+JOURNAL_SUFFIX = ".pull-journal"
+
+
+def _parse_lines(raw: str) -> list[dict]:
+    """Replay journal lines, tolerating a torn final line from a crash."""
+    records = []
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            # A torn write — only legal as the final line; anything the
+            # crashed process managed to append after it never existed.
+            break
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+class PullJournal:
+    """Write-ahead progress log for one replica's pulls.
+
+    One journal file serves a replica across pulls: each :meth:`begin`
+    truncates it (after harvesting any resumable progress) and starts a new
+    record.  The file lives next to the store, so "same journal" implies
+    "same replica".
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def begin(self, snapshot_id: str) -> set[str]:
+        """Open the journal for a pull of *snapshot_id*.
+
+        Returns the keys already verified by a previous **interrupted**
+        pull of the same snapshot (empty when starting clean).  The journal
+        file is then rewritten with a fresh header plus the carried-over
+        keys, so a second crash still resumes from the union.
+        """
+        resumed = self._resumable_keys(snapshot_id)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._append({"kind": "begin", "snapshot_id": snapshot_id})
+        for key in sorted(resumed):
+            self._append({"kind": "verified", "key": key})
+        return resumed
+
+    def record(self, key: str) -> None:
+        """Mark one manifest key as verified **and committed** locally.
+
+        Call order matters: record *after* the store commit, so a crash
+        between them re-fetches the blob (harmless — commits are
+        idempotent) rather than skipping an uncommitted one.
+        """
+        self._append({"kind": "verified", "key": key})
+
+    def complete(self, stats: Optional[dict] = None) -> None:
+        """Seal the journal: this pull finished; nothing to resume."""
+        self._append({"kind": "complete", "stats": stats or {}})
+        self.close()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "PullJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # replay
+    # ------------------------------------------------------------------ #
+    def _resumable_keys(self, snapshot_id: str) -> set[str]:
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return set()
+        records = _parse_lines(raw)
+        if not records or records[0].get("kind") != "begin":
+            return set()
+        if records[0].get("snapshot_id") != snapshot_id:
+            return set()  # the publisher moved on; stale progress is useless
+        if any(r.get("kind") == "complete" for r in records):
+            return set()  # previous pull finished; nothing to resume
+        return {
+            str(r["key"])
+            for r in records
+            if r.get("kind") == "verified" and "key" in r
+        }
+
+    def _append(self, record: dict) -> None:
+        if self._handle is None:
+            raise RuntimeError("journal is not open; call begin() first")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        # Flush through to the OS before the caller takes its next step —
+        # the whole point is surviving a crash between steps.
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------ #
+    # inspection (``lake stats``)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def summarize(cls, path: Union[str, Path]) -> Optional[dict]:
+        """Describe the journal at *path* without opening it for writing.
+
+        Returns ``None`` when no journal exists, else a dict with the
+        snapshot id, verified-key count, completion flag, and any stats the
+        completion record carried.
+        """
+        try:
+            raw = Path(path).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        records = _parse_lines(raw)
+        if not records or records[0].get("kind") != "begin":
+            return None
+        completed = next((r for r in records if r.get("kind") == "complete"), None)
+        return {
+            "snapshot_id": records[0].get("snapshot_id"),
+            "verified_keys": sum(1 for r in records if r.get("kind") == "verified"),
+            "completed": completed is not None,
+            "stats": (completed or {}).get("stats", {}),
+        }
+
+    @classmethod
+    def default_path(cls, store_path: Union[str, Path]) -> Optional[Path]:
+        """Where the journal for a store at *store_path* lives.
+
+        ``None`` for in-memory stores — there is nothing durable to resume.
+        """
+        text = str(store_path)
+        if text == ":memory:" or text.startswith("file::memory:"):
+            return None
+        return Path(text + JOURNAL_SUFFIX)

@@ -257,6 +257,22 @@ class Manifest:
         return target
 
     @classmethod
+    def from_bytes(cls, raw: bytes, origin: str = "manifest") -> "Manifest":
+        """Parse manifest bytes as fetched by a transport.
+
+        Raises ``ValueError`` when the bytes are not a readable snapshot
+        manifest — which a puller treats as retryable, since a transport
+        may have handed back torn or corrupted bytes.
+        """
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"unreadable snapshot manifest ({origin}): {exc}") from exc
+        if not isinstance(data, dict) or data.get("kind") != "lake-snapshot":
+            raise ValueError(f"{origin} is not a lake snapshot manifest")
+        return cls.from_dict(data)
+
+    @classmethod
     def load(cls, artifact_dir: Union[str, Path]) -> "Manifest":
         """Read the manifest of an artifact directory.
 
@@ -274,10 +290,4 @@ class Manifest:
             raise FileNotFoundError(
                 f"no snapshot manifest at {path}; not a published artifact?"
             ) from exc
-        try:
-            data = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ValueError(f"unreadable snapshot manifest at {path}: {exc}") from exc
-        if not isinstance(data, dict) or data.get("kind") != "lake-snapshot":
-            raise ValueError(f"{path} is not a lake snapshot manifest")
-        return cls.from_dict(data)
+        return cls.from_bytes(raw, origin=str(path))

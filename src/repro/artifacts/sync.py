@@ -22,6 +22,18 @@ falls back to a full manifest diff; either way only missing blobs are
 fetched, and shared ones cost nothing.  Telemetry counters:
 ``artifacts.iblt.decode_success`` / ``artifacts.iblt.decode_fallback``,
 ``artifacts.pull.blobs_fetched`` / ``blobs_skipped`` / ``bytes_fetched``.
+
+Fault tolerance.  A pull reads through an
+:class:`~repro.artifacts.transport.ArtifactTransport` (a plain path is
+wrapped in a :class:`~repro.artifacts.transport.LocalTransport`) and treats
+the channel as lossy: every fetched blob is re-hashed against its manifest
+digest, and a mismatch or transient transport error triggers a bounded
+backoff-and-retry (:class:`~repro.artifacts.transport.RetryPolicy` — per
+blob attempts plus a pull-wide budget) rather than an abort.  Progress is
+journaled (:class:`~repro.artifacts.journal.PullJournal`): each key is
+logged *after* its store commit, so a pull killed mid-flight resumes
+fetching only blobs it never verified.  Counters: ``sync.retries``,
+``sync.resumed_blobs``.
 """
 
 from __future__ import annotations
@@ -31,8 +43,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.artifacts.blobs import BlobStore
+from repro.artifacts.blobs import BlobStore, blob_digest
 from repro.artifacts.iblt import IBLTSketch, key_fingerprint
+from repro.artifacts.journal import PullJournal
 from repro.artifacts.manifest import (
     BLOBS_DIR,
     Manifest,
@@ -40,6 +53,13 @@ from repro.artifacts.manifest import (
     TableEntry,
     decode_sketch_blob,
     encode_sketch_blob,
+)
+from repro.artifacts.transport import (
+    ArtifactTransport,
+    LocalTransport,
+    RetryPolicy,
+    RetryState,
+    TransportError,
 )
 from repro.discovery.prepared import PreparedStore
 from repro.lake.store import SketchStore
@@ -249,9 +269,18 @@ class PullReport:
     #: peel vs the full-diff fallback.
     iblt_decoded: int = 0
     iblt_fallback: int = 0
-    #: Tables whose fetched blob failed digest/identity verification (the
-    #: pull skips them and keeps whatever the local store had).
+    #: Tables whose fetched blob failed digest/identity verification even
+    #: after retries (the pull skips them and keeps whatever the local
+    #: store had — a later pull retries them from scratch).
     corrupt: list[str] = field(default_factory=list)
+    #: Fault-tolerance accounting: transport reads retried after a failure
+    #: or digest mismatch, and blobs *not* re-fetched because an earlier
+    #: interrupted pull of this snapshot already verified and committed
+    #: them (per the pull journal).
+    retries: int = 0
+    resumed_blobs: int = 0
+    #: True when this pull picked up an interrupted pull's journal.
+    resumed: bool = False
 
     @property
     def unchanged(self) -> bool:
@@ -265,13 +294,74 @@ class PullReport:
         )
 
 
+class _FetchFailed(Exception):
+    """A blob could not be fetched intact within the retry policy."""
+
+
+def _fetch_manifest(
+    transport: ArtifactTransport, retry_state: Optional[RetryState], report: PullReport
+) -> Manifest:
+    """Fetch + parse the manifest, retrying transient/corrupt reads."""
+    attempt = 1
+    while True:
+        try:
+            raw = transport.read_manifest()
+            return Manifest.from_bytes(raw, origin=transport.describe())
+        except FileNotFoundError:
+            raise  # never published: retrying cannot help
+        except (TransportError, OSError, ValueError) as exc:
+            if retry_state is None or not retry_state.pause(attempt):
+                raise
+            attempt += 1
+            report.retries += 1
+            logger.warning(
+                "retrying manifest read from %s (attempt %d): %s",
+                transport.describe(),
+                attempt,
+                exc,
+            )
+
+
+def _fetch_blob(
+    transport: ArtifactTransport,
+    digest: str,
+    retry_state: Optional[RetryState],
+    report: PullReport,
+) -> bytes:
+    """Fetch one blob and verify it against its content address.
+
+    Transient errors, absent blobs (a concurrent re-publish may have
+    pruned and re-added), and digest mismatches (torn or corrupted
+    transfer) all retry under the policy; exhaustion raises
+    :class:`_FetchFailed` so the caller can skip just this entry.
+    """
+    attempt = 1
+    while True:
+        failure: str
+        try:
+            data = transport.read_blob(digest)
+        except (KeyError, TransportError, OSError) as exc:
+            failure = f"{type(exc).__name__}: {exc}"
+        else:
+            if blob_digest(data) == digest:
+                return data
+            failure = "content does not match digest (corrupt transfer)"
+        if retry_state is None or not retry_state.pause(attempt):
+            raise _FetchFailed(f"blob {digest[:12]}…: {failure}")
+        attempt += 1
+        report.retries += 1
+
+
 def pull_snapshot(
-    artifact_dir: Union[str, Path],
+    source: Union[str, Path, ArtifactTransport],
     store: SketchStore,
     prepared_store: Optional[PreparedStore] = None,
     remove_missing: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    journal_path: Union[str, Path, None] = None,
+    resume: bool = True,
 ) -> PullReport:
-    """Sync local stores to the snapshot published at *artifact_dir*.
+    """Sync local stores to the snapshot published at *source*.
 
     Only blobs whose keys are missing locally are read (delta fetch); local
     tables and payloads absent from the snapshot are retired when
@@ -281,32 +371,95 @@ def pull_snapshot(
     monotone version, which is what a serving daemon's generation probe
     watches.
 
+    Parameters
+    ----------
+    source:
+        An artifact directory path, or any
+        :class:`~repro.artifacts.transport.ArtifactTransport`.
+    retry:
+        Backoff policy for transient transport failures and corrupt
+        transfers (default: :class:`RetryPolicy()`); an entry that stays
+        unfetchable after retries lands in ``report.corrupt`` instead of
+        aborting the pull.
+    journal_path / resume:
+        Where the crash-safe progress journal lives (default: next to the
+        sketch store; ``None`` + in-memory store = no journal) and whether
+        to honour an interrupted pull's progress found there.
+
     Raises
     ------
     FileNotFoundError / ValueError
         Unreadable artifact, or a sketch-config mismatch with the local
         store (signatures would not be comparable).
     """
+    transport = (
+        source if isinstance(source, ArtifactTransport) else LocalTransport(source)
+    )
     report = PullReport()
-    manifest = Manifest.load(artifact_dir)
+    retry_state = (retry or RetryPolicy()).start()
+    manifest = _fetch_manifest(transport, retry_state, report)
     if manifest.sketch_config != store.config:
         raise ValueError(
-            f"snapshot at {artifact_dir} was published with "
+            f"snapshot at {transport.describe()} was published with "
             f"{manifest.sketch_config}, local store uses {store.config}; "
             "refusing to mix incomparable sketches"
         )
     report.snapshot_id = manifest.snapshot_id
-    blobs = BlobStore(Path(artifact_dir) / BLOBS_DIR)
-    with telemetry.span("artifacts.pull", artifact=str(artifact_dir)):
-        _pull_tables(manifest, blobs, store, remove_missing, report)
-        if prepared_store is not None:
-            _pull_prepared(manifest, blobs, prepared_store, remove_missing, report)
+
+    if journal_path is None:
+        journal_path = PullJournal.default_path(store.path)
+    journal = PullJournal(journal_path) if journal_path is not None else None
+    verified_before: set[str] = set()
+    if journal is not None:
+        resumed = journal.begin(manifest.snapshot_id)
+        if resume:
+            verified_before = resumed
+            report.resumed = bool(resumed)
+
+    try:
+        with telemetry.span("artifacts.pull", artifact=transport.describe()):
+            _pull_tables(
+                manifest,
+                transport,
+                store,
+                remove_missing,
+                report,
+                retry_state,
+                journal,
+                verified_before,
+            )
+            if prepared_store is not None:
+                _pull_prepared(
+                    manifest,
+                    transport,
+                    prepared_store,
+                    remove_missing,
+                    report,
+                    retry_state,
+                    journal,
+                    verified_before,
+                )
+        if journal is not None and not report.corrupt:
+            # With failures pending we leave the journal unsealed, so the
+            # next pull resumes and retries exactly the unverified rest.
+            journal.complete(
+                {
+                    "blobs_fetched": report.blobs_fetched,
+                    "bytes_fetched": report.bytes_fetched,
+                    "retries": report.retries,
+                }
+            )
+    finally:
+        if journal is not None:
+            journal.close()
     telemetry.count("artifacts.pull.blobs_fetched", report.blobs_fetched)
     telemetry.count("artifacts.pull.blobs_skipped", report.blobs_skipped)
     telemetry.count("artifacts.pull.bytes_fetched", report.bytes_fetched)
+    telemetry.count("sync.retries", report.retries)
+    telemetry.count("sync.resumed_blobs", report.resumed_blobs)
     logger.info(
         "pulled snapshot %s: +%d/-%d tables, +%d/-%d prepared "
-        "(%d blobs fetched / %d skipped, %d bytes)",
+        "(%d blobs fetched / %d skipped, %d bytes, %d retries, %d resumed)",
         report.snapshot_id[:12],
         report.tables_added,
         report.tables_removed,
@@ -315,16 +468,21 @@ def pull_snapshot(
         report.blobs_fetched,
         report.blobs_skipped,
         report.bytes_fetched,
+        report.retries,
+        report.resumed_blobs,
     )
     return report
 
 
 def _pull_tables(
     manifest: Manifest,
-    blobs: BlobStore,
+    transport: ArtifactTransport,
     store: SketchStore,
     remove_missing: bool,
     report: PullReport,
+    retry_state: Optional[RetryState],
+    journal: Optional[PullJournal],
+    verified_before: set[str],
 ) -> None:
     local_meta = store.table_meta(store.table_names)
     local_keys = {
@@ -338,13 +496,25 @@ def _pull_tables(
     report.iblt_decoded += int(via_iblt)
     report.iblt_fallback += int(not via_iblt)
     report.blobs_skipped += len(remote_entries) - len(to_fetch)
+    report.resumed_blobs += len(
+        verified_before & (set(remote_entries) - to_fetch)
+    )
     for key in sorted(to_fetch):
         entry = remote_entries[key]
         try:
-            data = blobs.read(entry.digest)
+            data = _fetch_blob(transport, entry.digest, retry_state, report)
+        except _FetchFailed as exc:
+            logger.warning("skipping table %r: %s", entry.name, exc)
+            report.corrupt.append(entry.name)
+            continue
+        try:
             sketch = decode_sketch_blob(data)
-        except (KeyError, ValueError) as exc:
-            logger.warning("skipping table %r: bad snapshot blob (%s)", entry.name, exc)
+        except (ValueError, KeyError, TypeError) as exc:
+            # Digest-valid but undecodable: a publisher bug, not a wire
+            # fault — re-fetching would hand back the same bytes.
+            logger.warning(
+                "skipping table %r: blob is not a sketch (%s)", entry.name, exc
+            )
             report.corrupt.append(entry.name)
             continue
         if sketch.name != entry.name or sketch.content_hash != entry.content_hash:
@@ -358,6 +528,8 @@ def _pull_tables(
         report.bytes_fetched += len(data)
         if store.add_sketch(sketch):
             report.tables_added += 1
+        if journal is not None:
+            journal.record(key)
     if remove_missing:
         # A changed table surfaces as old-key-removed + new-key-added for
         # the same name; the add above already replaced the row, so only
@@ -373,10 +545,13 @@ def _pull_tables(
 
 def _pull_prepared(
     manifest: Manifest,
-    blobs: BlobStore,
+    transport: ArtifactTransport,
     prepared_store: PreparedStore,
     remove_missing: bool,
     report: PullReport,
+    retry_state: Optional[RetryState],
+    journal: Optional[PullJournal],
+    verified_before: set[str],
 ) -> None:
     local_rows = {
         f"p|{fingerprint}|{name}|{content_hash}|{fmt}": (fingerprint, name, content_hash)
@@ -389,15 +564,16 @@ def _pull_prepared(
     report.iblt_decoded += int(via_iblt)
     report.iblt_fallback += int(not via_iblt)
     report.blobs_skipped += len(remote_entries) - len(to_fetch)
+    report.resumed_blobs += len(
+        verified_before & (set(remote_entries) - to_fetch)
+    )
     for key in sorted(to_fetch):
         entry = remote_entries[key]
         try:
-            data = blobs.read(entry.digest)
-        except (KeyError, ValueError) as exc:
+            data = _fetch_blob(transport, entry.digest, retry_state, report)
+        except _FetchFailed as exc:
             logger.warning(
-                "skipping prepared payload for %r: bad snapshot blob (%s)",
-                entry.table_name,
-                exc,
+                "skipping prepared payload for %r: %s", entry.table_name, exc
             )
             report.corrupt.append(entry.table_name)
             continue
@@ -411,6 +587,8 @@ def _pull_prepared(
             data,
         )
         report.prepared_added += 1
+        if journal is not None:
+            journal.record(key)
     if remove_missing:
         # Prepared keys embed the content hash, so a changed payload's old
         # row is a distinct primary key — exact removal never clobbers the

@@ -16,6 +16,16 @@ The watcher is the lake's single writer; combined with
 :func:`~repro.artifacts.sync.publish_snapshot` (see *publish_dir*) it turns
 a plain directory of CSVs into a continuously re-published snapshot that
 replica ``lake serve`` nodes pull from.
+
+Quarantine.  A persistently broken file (truncated upload, wrong encoding,
+a producer re-writing garbage every cycle) must not be re-read — or worse,
+re-failed — on every poll forever.  After ``quarantine_after`` consecutive
+failed attempts a path is *parked*: the watcher skips it for a backoff
+window measured in polls (doubling up to ``quarantine_max_polls``), then
+retries once; a success releases it, another failure re-parks it with a
+longer window.  Parked tables keep their last good sketch — quarantine
+gates *ingestion attempts*, never store contents.  Counters:
+``watch.quarantined`` / ``watch.released`` / ``watch.stat_errors``.
 """
 
 from __future__ import annotations
@@ -57,6 +67,17 @@ class WatchReport:
     stale_pruned: int = 0
     unreadable: list[str] = field(default_factory=list)
     publish: Optional[PublishReport] = None
+    #: Quarantine traffic this poll: stems newly parked (or re-parked after
+    #: a failed probe), stems released after healing, and every stem
+    #: currently sitting in quarantine.
+    quarantined: list[str] = field(default_factory=list)
+    released: list[str] = field(default_factory=list)
+    parked: list[str] = field(default_factory=list)
+    #: Files whose ``stat`` failed during the scan (permissions, I/O).
+    stat_errors: int = 0
+    #: Post-ingest stages that failed this poll (the loop keeps running).
+    prepare_error: Optional[str] = None
+    publish_error: Optional[str] = None
 
     @property
     def changed(self) -> bool:
@@ -86,6 +107,12 @@ class LakeWatcher:
         content addressing).
     workers:
         Forwarded to the build/prepare process pools.
+    quarantine_after:
+        Consecutive failed ingestion attempts before a path is parked.
+    quarantine_base_polls / quarantine_max_polls:
+        First backoff window (in polls) and its doubling cap.  Windows are
+        measured in polls, not seconds, so quarantine behaviour is exactly
+        reproducible in tests regardless of poll interval.
     """
 
     def __init__(
@@ -97,9 +124,18 @@ class LakeWatcher:
         matcher: Optional[BaseMatcher] = None,
         publish_dir: Optional[Union[str, Path]] = None,
         workers: Optional[int] = None,
+        quarantine_after: int = 3,
+        quarantine_base_polls: int = 4,
+        quarantine_max_polls: int = 64,
     ) -> None:
         if (prepared_store is None) != (matcher is None):
             raise ValueError("prepared_store and matcher must be given together")
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        if not 1 <= quarantine_base_polls <= quarantine_max_polls:
+            raise ValueError(
+                "quarantine windows must satisfy 1 <= base <= max polls"
+            )
         self.store = store
         self.data_dir = Path(data_dir)
         self.pattern = pattern
@@ -107,12 +143,20 @@ class LakeWatcher:
         self.matcher = matcher
         self.publish_dir = Path(publish_dir) if publish_dir is not None else None
         self.workers = workers
+        self.quarantine_after = quarantine_after
+        self.quarantine_base_polls = quarantine_base_polls
+        self.quarantine_max_polls = quarantine_max_polls
         self._stamps: dict[str, _FileStamp] = {}
+        self._poll_index = 0
+        #: path -> consecutive failed ingestion attempts.
+        self._failures: dict[str, int] = {}
+        #: path -> (poll index at which to probe again, current window).
+        self._quarantine: dict[str, tuple[int, int]] = {}
 
     # ------------------------------------------------------------------ #
     # one poll
     # ------------------------------------------------------------------ #
-    def _scan(self) -> dict[str, _FileStamp]:
+    def _scan(self, report: WatchReport) -> dict[str, _FileStamp]:
         """Current ``path -> (mtime_ns, size)`` map of the tracked files."""
         stamps: dict[str, _FileStamp] = {}
         if not self.data_dir.is_dir():
@@ -120,23 +164,79 @@ class LakeWatcher:
         for path in sorted(self.data_dir.glob(self.pattern)):
             try:
                 stat = path.stat()
-            except OSError:
-                continue  # raced with a delete; next poll settles it
+            except OSError as exc:
+                # Usually a race with a delete (the next poll settles it),
+                # but permission or I/O errors hide here too — surface the
+                # skip instead of silently thinning the lake.
+                report.stat_errors += 1
+                telemetry.count("watch.stat_errors")
+                logger.warning("skipping %s this poll: stat failed (%s)", path, exc)
+                continue
             if path.is_file():
                 stamps[str(path)] = (stat.st_mtime_ns, stat.st_size)
         return stamps
 
+    # ------------------------------------------------------------------ #
+    # quarantine bookkeeping
+    # ------------------------------------------------------------------ #
+    def _is_parked(self, path: str) -> bool:
+        """In quarantine and its probe poll has not arrived yet."""
+        entry = self._quarantine.get(path)
+        return entry is not None and self._poll_index < entry[0]
+
+    def _note_failure(self, path: str, report: WatchReport) -> None:
+        count = self._failures.get(path, 0) + 1
+        self._failures[path] = count
+        previous = self._quarantine.get(path)
+        if previous is None and count < self.quarantine_after:
+            return  # still inside the grace window; retried on next change
+        if previous is None:
+            window = self.quarantine_base_polls
+        else:
+            window = min(self.quarantine_max_polls, previous[1] * 2)
+        self._quarantine[path] = (self._poll_index + window, window)
+        report.quarantined.append(Path(path).stem)
+        telemetry.count("watch.quarantined")
+        logger.warning(
+            "quarantined %s after %d consecutive failures; next attempt in "
+            "%d polls (last good sketch, if any, stays served)",
+            path,
+            count,
+            window,
+        )
+
+    def _note_success(self, path: str, report: WatchReport) -> None:
+        self._failures.pop(path, None)
+        if self._quarantine.pop(path, None) is not None:
+            report.released.append(Path(path).stem)
+            telemetry.count("watch.released")
+            logger.info("released %s from quarantine: it reads cleanly again", path)
+
+    def _forget(self, path: str) -> None:
+        self._failures.pop(path, None)
+        self._quarantine.pop(path, None)
+
     def poll_once(self) -> WatchReport:
         """Scan the directory once and fold any changes into the stores."""
         report = WatchReport()
+        self._poll_index += 1
         with telemetry.span("artifacts.watch.poll", data_dir=str(self.data_dir)):
-            current = self._scan()
+            current = self._scan(report)
             report.seen = len(current)
             changed = [
                 path
                 for path, stamp in current.items()
-                if self._stamps.get(path) != stamp
+                if self._stamps.get(path) != stamp and not self._is_parked(path)
             ]
+            # Quarantined paths whose window elapsed get one unconditional
+            # probe — even with an unchanged stamp, so operators see the
+            # table either heal or re-park on a schedule.
+            due = [
+                path
+                for path, (probe_at, _window) in self._quarantine.items()
+                if path in current and self._poll_index >= probe_at
+            ]
+            changed = sorted(set(changed) | set(due))
             vanished = [path for path in self._stamps if path not in current]
             report.candidates = len(changed)
             if changed:
@@ -144,27 +244,54 @@ class LakeWatcher:
                 report.sketched = build.sketched
                 report.unchanged = build.unchanged
                 report.unreadable = list(build.unreadable)
+                broken = set(build.unreadable)
+                for path in changed:
+                    if Path(path).stem in broken:
+                        self._note_failure(path, report)
+                    else:
+                        self._note_success(path, report)
             for path in vanished:
                 # One file, one table: a vanished CSV retires its stem.
                 if self.store.remove_table(Path(path).stem):
                     report.removed += 1
+                self._forget(path)
             # Record stamps for everything seen — including unchanged and
             # unreadable files, so a broken CSV is not re-read every poll
             # (editing it changes its stamp and retriggers).
             self._stamps = current
+            report.parked = sorted(
+                Path(path).stem
+                for path in self._quarantine
+                if path in current
+            )
             if report.changed and self.prepared_store is not None:
-                prep = prepare_lake(
-                    self.store,
-                    self.prepared_store,
-                    self.matcher,
-                    workers=self.workers,
-                )
-                report.prepared = prep.prepared
-                report.stale_pruned = prep.stale_pruned
+                try:
+                    prep = prepare_lake(
+                        self.store,
+                        self.prepared_store,
+                        self.matcher,
+                        workers=self.workers,
+                    )
+                except Exception as exc:
+                    # A poisoned prepare must not wedge the watch loop; the
+                    # next mutating poll retries with fresh inputs.
+                    report.prepare_error = str(exc)
+                    telemetry.count("watch.prepare_errors")
+                    logger.warning("prepare pass failed this poll: %s", exc)
+                else:
+                    report.prepared = prep.prepared
+                    report.stale_pruned = prep.stale_pruned
             if report.changed and self.publish_dir is not None:
-                report.publish = publish_snapshot(
-                    self.store, self.publish_dir, prepared_store=self.prepared_store
-                )
+                try:
+                    report.publish = publish_snapshot(
+                        self.store,
+                        self.publish_dir,
+                        prepared_store=self.prepared_store,
+                    )
+                except Exception as exc:
+                    report.publish_error = str(exc)
+                    telemetry.count("watch.publish_errors")
+                    logger.warning("publish failed this poll: %s", exc)
         telemetry.count("artifacts.watch.polls")
         if report.changed:
             telemetry.count("artifacts.watch.changed_polls")

@@ -329,6 +329,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep local tables and payloads absent from the snapshot "
         "(default: remove them so the replica converges exactly)",
     )
+    pull.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=4,
+        metavar="N",
+        help="max transport attempts per blob before skipping it (default: 4)",
+    )
+    pull.add_argument(
+        "--retry-budget",
+        type=int,
+        default=64,
+        metavar="N",
+        help="total retries one pull may spend across all blobs (default: 64)",
+    )
+    pull.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore an interrupted pull's journal and refetch from scratch",
+    )
+
+    verify = lake_commands.add_parser(
+        "verify",
+        help="cross-check manifest <-> blobs <-> stores and optionally repair",
+    )
+    verify.add_argument(
+        "--store", type=Path, default=Path("lake.sketches"), help="store path"
+    )
+    verify.add_argument(
+        "--prepared-store",
+        type=Path,
+        default=None,
+        help="prepared-candidate store path (default: <store>.prepared when present)",
+    )
+    verify.add_argument(
+        "--artifact",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="snapshot artifact to cross-check against (and repair from)",
+    )
+    verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="fix findings: re-sketch from recorded CSVs, prune stale prepared "
+        "rows, re-pull missing entries from --artifact",
+    )
 
     watch = lake_commands.add_parser(
         "watch",
@@ -577,7 +623,7 @@ def _command_lake_publish(args: argparse.Namespace) -> int:
 
 
 def _command_lake_pull(args: argparse.Namespace) -> int:
-    from repro.artifacts import Manifest, pull_snapshot
+    from repro.artifacts import Manifest, RetryPolicy, pull_snapshot
     from repro.discovery.prepared import PreparedStore
     from repro.lake import SketchStore
 
@@ -603,6 +649,10 @@ def _command_lake_pull(args: argparse.Namespace) -> int:
                 store,
                 prepared_store=prepared_store,
                 remove_missing=not args.keep_missing,
+                retry=RetryPolicy(
+                    max_attempts=args.retry_attempts, budget=args.retry_budget
+                ),
+                resume=not args.no_resume,
             )
         finally:
             if prepared_store is not None:
@@ -620,13 +670,82 @@ def _command_lake_pull(args: argparse.Namespace) -> int:
         f"{report.blobs_fetched} blobs fetched ({report.bytes_fetched} bytes), "
         f"{report.blobs_skipped} already local [{via}]"
     )
+    if report.retries:
+        print(f"  transport retries: {report.retries}")
+    if report.resumed:
+        print(
+            f"  resumed interrupted pull: {report.resumed_blobs} blobs "
+            "already verified, not re-fetched"
+        )
     if report.corrupt:
         print(
-            f"warning: skipped {len(report.corrupt)} entries with corrupt blobs",
+            f"warning: skipped {len(report.corrupt)} entries with corrupt blobs "
+            "(re-run `lake pull` to retry just those)",
             file=sys.stderr,
         )
         return 1
     return 0
+
+
+def _command_lake_verify(args: argparse.Namespace) -> int:
+    from repro.discovery.prepared import PreparedStore
+    from repro.lake import SketchStore
+    from repro.lake.verify import verify_lake
+
+    if not args.store.exists():
+        print(f"no sketch store at {args.store}; run `lake build` first", file=sys.stderr)
+        return 1
+    resolved_prepared = args.prepared_store or _default_prepared_store_path(args.store)
+    include_prepared = args.prepared_store is not None or resolved_prepared.exists()
+    try:
+        store = SketchStore(args.store)
+        prepared_store = PreparedStore(resolved_prepared) if include_prepared else None
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    with store:
+        try:
+            report = verify_lake(
+                store,
+                prepared_store=prepared_store,
+                source=args.artifact,
+                repair=args.repair,
+            )
+        except (FileNotFoundError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        finally:
+            if prepared_store is not None:
+                prepared_store.close()
+    for label, findings in sorted(report.sqlite_findings.items()):
+        print(f"{label}: SQLite integrity_check FAILED ({len(findings)} findings)")
+        for finding in findings[:5]:
+            print(f"  {finding}")
+    if report.bad_sketches:
+        print(f"undecodable sketches: {', '.join(sorted(report.bad_sketches))}")
+    if report.stale_prepared:
+        print(f"stale prepared rows: {report.stale_prepared}")
+    if report.missing_blobs:
+        print(f"artifact blobs missing/unreadable: {len(report.missing_blobs)}")
+    if report.corrupt_blobs:
+        print(f"artifact blobs corrupt: {len(report.corrupt_blobs)}")
+    if report.missing_entries:
+        print(f"manifest entries absent locally: {len(report.missing_entries)}")
+    if args.repair:
+        print(
+            f"repairs: {report.resketched} re-sketched, {report.repulled} "
+            f"re-pulled, {report.pruned_prepared} stale prepared rows pruned"
+        )
+        if report.unrepaired:
+            print(f"unrepaired: {', '.join(sorted(set(report.unrepaired)))}")
+        if report.healthy_after_repair:
+            print("verify: all findings repaired" if not report.clean else "verify: clean")
+            return 0
+        return 1
+    if report.clean:
+        print("verify: clean")
+        return 0
+    return 1
 
 
 def _command_lake_watch(args: argparse.Namespace) -> int:
@@ -885,6 +1004,7 @@ def _command_lake_stats(store_path: Path, prepared_path: Path | None) -> int:
     print(f"  columns:          {sketch_stats['columns']}")
     print(f"  total table rows: {sketch_stats['total_table_rows']}")
     print(f"  store version:    {sketch_stats['version']}")
+    _print_last_pull(store_path)
     resolved_prepared = prepared_path or _default_prepared_store_path(store_path)
     if not resolved_prepared.exists():
         print(f"no prepared store at {resolved_prepared}")
@@ -909,6 +1029,29 @@ def _command_lake_stats(store_path: Path, prepared_path: Path | None) -> int:
             f"{per['payload_bytes']} payload bytes"
         )
     return 0
+
+
+def _print_last_pull(store_path: Path) -> None:
+    """Append the last-pull journal summary (if any) to `lake stats` output."""
+    from repro.artifacts import PullJournal
+
+    journal_path = PullJournal.default_path(store_path)
+    if journal_path is None:
+        return
+    summary = PullJournal.summarize(journal_path)
+    if summary is None:
+        return
+    state = "complete" if summary["completed"] else "INTERRUPTED (will resume)"
+    print(f"last pull ({state})")
+    print(f"  snapshot:         {str(summary['snapshot_id'])[:12]}…")
+    print(f"  verified entries: {summary['verified_keys']}")
+    stats = summary.get("stats") or {}
+    if stats:
+        print(
+            f"  fetched:          {stats.get('blobs_fetched', 0)} blobs "
+            f"({stats.get('bytes_fetched', 0)} bytes), "
+            f"{stats.get('retries', 0)} retries"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -945,6 +1088,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_lake_publish(args)
         if args.lake_command == "pull":
             return _command_lake_pull(args)
+        if args.lake_command == "verify":
+            return _command_lake_verify(args)
         if args.lake_command == "watch":
             return _command_lake_watch(args)
         return _command_lake_query(

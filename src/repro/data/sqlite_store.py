@@ -143,6 +143,24 @@ class PerProcessSqliteStore:
     def _close_hook(self, connection: sqlite3.Connection) -> None:
         """Last-chance work on the closing connection (e.g. flush batches)."""
 
+    def integrity_check(self) -> list[str]:
+        """Run ``PRAGMA integrity_check``; ``[]`` means the file is sound.
+
+        Returns SQLite's complaint strings on corruption (page damage,
+        broken indexes).  An empty list is the all-clear — the single
+        row ``ok`` SQLite reports for a healthy database is elided.
+        """
+        try:
+            rows = self._connection.execute("PRAGMA integrity_check").fetchall()
+        except sqlite3.Error as exc:
+            # A database too damaged to even run the pragma is its own
+            # finding, not an exception the caller has to special-case.
+            return [f"integrity_check failed to run: {exc}"]
+        findings = [str(row[0]) for row in rows]
+        if findings == ["ok"]:
+            return []
+        return findings
+
     def close(self) -> None:
         """Close this process's connection and mark the store unusable.
 

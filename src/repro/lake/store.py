@@ -435,7 +435,13 @@ class SketchStore(PerProcessSqliteStore):
         }
 
     def get(self, name: str) -> Optional[TableSketch]:
-        """Return the :class:`TableSketch` of *name* or ``None``."""
+        """Return the :class:`TableSketch` of *name* or ``None``.
+
+        Raises ``ValueError`` naming the table when its stored column
+        payloads do not decode (row-level corruption that SQLite's own
+        ``integrity_check`` cannot see) — the granularity ``lake verify``
+        repairs at.
+        """
         telemetry.count("sketch_store.sketch_reads")
         row = self._connection.execute(
             "SELECT content_hash, num_rows FROM tables WHERE name = ?", (name,)
@@ -446,7 +452,13 @@ class SketchStore(PerProcessSqliteStore):
             "SELECT payload FROM columns WHERE table_name = ? ORDER BY rowid",
             (name,),
         ).fetchall()
-        columns = tuple(ColumnSketch.from_dict(json.loads(p[0])) for p in payloads)
+        try:
+            columns = tuple(ColumnSketch.from_dict(json.loads(p[0])) for p in payloads)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ValueError(
+                f"sketch for table {name!r} is corrupt: column payload does "
+                f"not decode ({exc})"
+            ) from exc
         return TableSketch(
             name=name, content_hash=row[0], num_rows=row[1], columns=columns
         )

@@ -33,6 +33,7 @@ from repro.serve.admission import (
     run_with_deadline,
 )
 from repro.serve.batcher import MicroBatcher
+from repro.serve.health import CircuitBreaker
 from repro.serve.client import (
     DeadlineExpiredError,
     QueueFullError,
@@ -58,6 +59,7 @@ __all__ = [
     "Ticket",
     "run_with_deadline",
     "MicroBatcher",
+    "CircuitBreaker",
     "ProtocolError",
     "QueryRequest",
     "decode_query_request",

@@ -17,8 +17,9 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.data.table import Table
 from repro.serve.protocol import encode_query_request
@@ -71,6 +72,13 @@ class ServeClient:
     fails the call instead of hanging the client forever; per-request
     scoring deadlines travel in the request body (``timeout_s=`` on
     :meth:`query`) and are enforced server-side.
+
+    Back-pressure retry is **opt-in**: with ``retry_queue_full=True`` a
+    :meth:`query` rejected 429 sleeps the daemon's ``Retry-After`` hint and
+    resubmits, up to ``max_attempts`` total tries, then re-raises
+    :class:`QueueFullError`.  Off by default — a load generator usually
+    *wants* to observe the 429s, and an interactive caller should decide
+    its own patience.
     """
 
     def __init__(
@@ -79,10 +87,18 @@ class ServeClient:
         port: Optional[int] = None,
         unix_socket: Optional[Union[str, Path]] = None,
         timeout_s: float = 60.0,
+        retry_queue_full: bool = False,
+        max_attempts: int = 3,
+        retry_sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if (port is None) == (unix_socket is None):
             raise ValueError("pass exactly one of port= or unix_socket=")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self._timeout = timeout_s
+        self.retry_queue_full = retry_queue_full
+        self.max_attempts = max_attempts
+        self._retry_sleep = retry_sleep
         if unix_socket is not None:
             self._connection: http.client.HTTPConnection = _UnixHTTPConnection(
                 str(unix_socket), timeout=timeout_s
@@ -105,10 +121,20 @@ class ServeClient:
         """Score *table* against the lake; returns the decoded response.
 
         Raises :class:`QueueFullError` / :class:`DeadlineExpiredError` /
-        :class:`ServeError` for 429 / 504 / other non-2xx answers.
+        :class:`ServeError` for 429 / 504 / other non-2xx answers.  With
+        ``retry_queue_full`` set, 429s are retried after the daemon's
+        ``Retry-After`` hint (bounded by ``max_attempts``).
         """
         body = encode_query_request(table, mode=mode, top_k=top_k, timeout_s=timeout_s)
-        return self._request("POST", "/query", body)
+        attempts = self.max_attempts if self.retry_queue_full else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._request("POST", "/query", body)
+            except QueueFullError as exc:
+                if attempt >= attempts:
+                    raise
+                self._retry_sleep(exc.retry_after)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def stats(self) -> dict:
         return self._request("GET", "/stats")

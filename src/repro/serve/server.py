@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Tuple
 
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.discovery.prepared import PreparedStore
 from repro.discovery.search import RerankPool
@@ -47,6 +48,7 @@ from repro.lake import LakeDiscoveryEngine, SketchStore, store_generation
 from repro.matchers.registry import create_matcher
 from repro.serve.admission import AdmissionQueue, Deadline, DeadlineExpired, QueueFull, Ticket
 from repro.serve.batcher import MicroBatcher
+from repro.serve.health import CircuitBreaker
 from repro.serve.protocol import (
     ProtocolError,
     decode_query_request,
@@ -84,6 +86,14 @@ class ServeConfig:
     parallel: bool = True
     max_workers: Optional[int] = None
     reopen_poll_s: float = 1.0
+    #: Circuit breaker over the parallel rerank path: this many consecutive
+    #: pool breaks switch batches to serial scoring for ``cooldown_s``.
+    breaker_threshold: int = 2
+    breaker_cooldown_s: float = 5.0
+    #: Optional :class:`~repro.faults.FaultPlan` (duck-typed: anything with
+    #: ``check(operation)``) consulted at ``serve.score_batch`` — the chaos
+    #: suite's injection point.  ``None`` costs nothing.
+    fault_plan: Optional[object] = None
 
     def resolved_prepared_path(self) -> Path:
         if self.prepared_path is not None:
@@ -183,7 +193,11 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:
         if self.path == "/healthz":
-            self._send_json(200, self.daemon.health())
+            payload = self.daemon.health()
+            # ok/degraded answer 200 (keep routing here — degraded still
+            # serves correct results); starting answers 503.
+            status = 200 if payload["status"] in ("ok", "degraded") else 503
+            self._send_json(status, payload)
         elif self.path == "/stats":
             self._send_json(200, self.daemon.stats())
         else:
@@ -232,6 +246,11 @@ class DiscoveryServer:
         self.config = config
         self.recorder = TelemetryRecorder()
         self.pool = RerankPool(max_workers=config.max_workers)
+        self.breaker = CircuitBreaker(
+            threshold=config.breaker_threshold,
+            cooldown_s=config.breaker_cooldown_s,
+        )
+        self.pool_restarts = 0
         self.reopen_count = 0
         self._session: Optional[_EngineSession] = None
         self._session_lock = threading.Lock()  # guards the reference swap only
@@ -372,23 +391,51 @@ class DiscoveryServer:
         session = self._session
         if session is None:  # pragma: no cover - dispatcher guarantees open
             raise RuntimeError("no engine session")
-        outcomes: list = [None] * len(requests)
         groups: dict = {}
         for index, request in enumerate(requests):
             groups.setdefault((request.mode, request.top_k), []).append(index)
         with use(self.recorder):
             self.recorder.count("serve.batches")
             self.recorder.count("serve.batched_queries", len(requests))
-            for (mode, top_k), indexes in groups.items():
-                batch = session.engine.query_many(
-                    [requests[i].table for i in indexes],
-                    mode=mode,
-                    top_k=top_k,
-                    parallel=self.config.parallel,
-                    max_workers=self.config.max_workers,
+            parallel = self.config.parallel and self.breaker.allow()
+            try:
+                outcomes = self._score_groups(session, requests, groups, parallel)
+            except BrokenProcessPool:
+                # The shared pool died *twice* for this batch (RerankPool
+                # already respawned and retried once internally).  Restart
+                # it behind the breaker and answer this batch serially —
+                # degraded latency, correct results, no dropped queries.
+                self.recorder.count("serve.pool_restarts")
+                self.pool_restarts += 1
+                self.breaker.record_failure()
+                self.pool.close()
+                logger.warning(
+                    "rerank pool broke; restarted it and degraded this "
+                    "batch to serial scoring (breaker: %s)",
+                    self.breaker.state,
                 )
-                for i, outcome in zip(indexes, batch):
-                    outcomes[i] = outcome
+                outcomes = self._score_groups(session, requests, groups, False)
+            else:
+                if parallel:
+                    self.breaker.record_success()
+        return outcomes
+
+    def _score_groups(
+        self, session: _EngineSession, requests: Sequence, groups: dict, parallel: bool
+    ) -> list:
+        if self.config.fault_plan is not None:
+            self.config.fault_plan.check("serve.score_batch")
+        outcomes: list = [None] * len(requests)
+        for (mode, top_k), indexes in groups.items():
+            batch = session.engine.query_many(
+                [requests[i].table for i in indexes],
+                mode=mode,
+                top_k=top_k,
+                parallel=parallel,
+                max_workers=self.config.max_workers,
+            )
+            for i, outcome in zip(indexes, batch):
+                outcomes[i] = outcome
         return outcomes
 
     # ------------------------------------------------------------------ #
@@ -429,33 +476,58 @@ class DiscoveryServer:
             send_json(504, {"error": "deadline_expired", "timeout_s": timeout_s})
             return
         except Exception as exc:
+            # Contract: the daemon never answers 500.  A failed batch is a
+            # *transient server condition* — the session reopens, the pool
+            # restarts, the breaker degrades — so tell the client to retry,
+            # the same way a full queue does.
             self.recorder.count("serve.errors")
             logger.exception("query failed")
-            send_json(500, {"error": "internal", "detail": str(exc)})
+            send_json(
+                503,
+                {"error": "unavailable", "detail": str(exc)},
+                {"Retry-After": "1"},
+            )
             return
         if coalesced:
             self.recorder.count("serve.coalesced")
         self.recorder.observe("serve.request", time.monotonic() - started)
         send_json(200, response_to_dict(request, outcome, coalesced))
 
+    def health_status(self) -> str:
+        """The daemon's condition: ``ok`` / ``degraded`` / ``starting``.
+
+        ``ok`` — session open, breaker closed (full fast path).
+        ``degraded`` — serving correct answers, but the rerank breaker is
+        open or half-open, so batches score serially.  ``starting`` — no
+        engine session yet (also the state after a failed open).
+        """
+        with self._session_lock:
+            session = self._session
+        if session is None:
+            return "starting"
+        return "ok" if self.breaker.state == "closed" else "degraded"
+
     def health(self) -> dict:
         """The ``/healthz`` payload — cached fields only, never the stores."""
         with self._session_lock:
             session = self._session
         return {
-            "status": "ok" if session is not None else "starting",
+            "status": self.health_status(),
+            "breaker": self.breaker.state,
             "tables": session.table_count if session is not None else None,
             "generation": _generation_as_json(
                 session.generation if session is not None else None
             ),
             "queue_depth": self.admission.depth(),
             "reopen_count": self.reopen_count,
+            "pool_restarts": self.pool_restarts,
         }
 
     def stats(self) -> dict:
         """The ``/stats`` payload: merged recorder + serving-level gauges."""
         payload = self.recorder.snapshot().as_dict()
         payload["serve"] = {
+            "status": self.health_status(),
             "queue_depth": self.admission.depth(),
             "queue_limit": self.config.queue_limit,
             "batches_run": self.batcher.batches_run,
@@ -463,6 +535,8 @@ class DiscoveryServer:
             "expired_in_queue": self.batcher.expired_in_queue,
             "reopen_count": self.reopen_count,
             "pool_spawns": self.pool.spawn_count,
+            "pool_restarts": self.pool_restarts,
+            "breaker": self.breaker.snapshot(),
             "pid": os.getpid(),
         }
         return payload
