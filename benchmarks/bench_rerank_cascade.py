@@ -1,0 +1,179 @@
+"""Cascaded-rerank benchmark: score bounds + top-k early termination (PR 10).
+
+A warm 200-candidate SemProp rerank where only a small value-overlapping
+cohort can reach the top-k: the cascade's stage-1 sketch bounds should skip
+the disjoint majority outright while returning a ranking byte-identical to
+the uncascaded rerank (SemProp declares its ``0.5 * max_jaccard`` bound
+admissible, so skipping is provably safe).
+
+Reported per run: the exact-scored fraction, the skip fraction, and the
+wall-clock speedup of ``cascade=True`` over the plain warm rerank.  The
+benchmark *asserts* ranking identity and a skip fraction of at least
+``MIN_SKIP_FRACTION`` — in smoke mode too; the speedup itself is
+informational (it tracks matcher cost, which smoke scales shrink).
+
+Results are printed AND written to ``BENCH_PR10.json`` at the repository
+root.  Set ``BENCH_PR10_SMOKE=1`` for the seconds-scale CI version.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_report
+from repro.data.csv_io import write_csv
+from repro.data.table import Table
+from repro.discovery.prepared import PreparedStore
+from repro.lake import LakeDiscoveryEngine, SketchStore, build_from_paths, prepare_lake
+from repro.matchers.semprop import SemPropMatcher
+
+SMOKE = os.environ.get("BENCH_PR10_SMOKE", "") not in ("", "0")
+
+NUM_CANDIDATES = 60 if SMOKE else 200
+NUM_OVERLAPPING = 12 if SMOKE else 20
+# Row count sets the exact-scoring cost the cascade avoids; stage-1 bounds
+# read fixed-size sketches, so their cost is row-independent.
+CANDIDATE_ROWS = 40 if SMOKE else 500
+NUM_COLUMNS = 3 if SMOKE else 5
+TOP_K = 10
+MIN_SKIP_FRACTION = 0.30
+
+_OUTPUT_PATH = Path(__file__).parent.parent / "BENCH_PR10.json"
+
+
+def _rankings(results) -> list[tuple[str, float, float]]:
+    return [(r.table_name, r.joinability, r.unionability) for r in results]
+
+
+def _neutral_table(name: str, value_of) -> Table:
+    """Columns with ontology-neutral names: SemProp forms no semantic links,
+    so its admissible syntactic bound applies to every pair."""
+    return Table(
+        name,
+        {
+            f"field_{c}": [value_of(c, r) for r in range(CANDIDATE_ROWS)]
+            for c in range(NUM_COLUMNS)
+        },
+    )
+
+
+def _build_lake(workdir: Path) -> Path:
+    lake_dir = workdir / "csv"
+    lake_dir.mkdir()
+    for i in range(NUM_OVERLAPPING):
+        # Overlap fraction spreads 1.0 .. ~0.5 so the top-k has real contrast.
+        keep = 1.0 - 0.5 * i / max(1, NUM_OVERLAPPING - 1)
+        cut = int(CANDIDATE_ROWS * keep)
+        table = _neutral_table(
+            f"overlap_{i:03d}",
+            lambda c, r, i=i, cut=cut: (
+                f"val_{c}_{r}" if r < cut else f"own_{i}_{c}_{r}"
+            ),
+        )
+        write_csv(table, lake_dir / f"{table.name}.csv")
+    for i in range(NUM_CANDIDATES - NUM_OVERLAPPING):
+        table = _neutral_table(
+            f"disjoint_{i:03d}", lambda c, r, i=i: f"junk_{i}_{c}_{r}"
+        )
+        write_csv(table, lake_dir / f"{table.name}.csv")
+    return lake_dir
+
+
+def _bench_cascade(workdir: Path) -> dict[str, object]:
+    lake_dir = _build_lake(workdir)
+    query = _neutral_table("query_table", lambda c, r: f"val_{c}_{r}")
+
+    matcher = SemPropMatcher()
+    store = SketchStore(workdir / "lake.sketches")
+    build_from_paths(store, sorted(lake_dir.glob("*.csv")))
+    prepared_store = PreparedStore(workdir / "lake.sketches.prepared")
+    prepare_lake(store, prepared_store, matcher)
+
+    engine = LakeDiscoveryEngine(
+        matcher=matcher,
+        store=store,
+        prepared_store=prepared_store,
+        min_candidates=NUM_CANDIDATES,
+        candidate_multiplier=NUM_CANDIDATES,
+    )
+    # One throwaway warm query so both timed runs see hot caches.
+    engine.query(query, top_k=TOP_K)
+
+    started = time.perf_counter()
+    plain = engine.query(query, top_k=TOP_K)
+    plain_seconds = time.perf_counter() - started
+    plain_scored = engine.last_query_stats.rerank_count
+
+    started = time.perf_counter()
+    cascaded = engine.query(query, top_k=TOP_K, cascade=True)
+    cascade_seconds = time.perf_counter() - started
+    stats = engine.last_query_stats
+
+    assert _rankings(cascaded) == _rankings(plain), (
+        "cascaded ranking diverged from the uncascaded warm rerank"
+    )
+    shortlisted = stats.cascade_exact + stats.cascade_skipped
+    skip_fraction = stats.cascade_skipped / shortlisted if shortlisted else 0.0
+    outcome = {
+        "matcher": "SemProp",
+        "candidates": NUM_CANDIDATES,
+        "overlapping": NUM_OVERLAPPING,
+        "candidate_rows": CANDIDATE_ROWS,
+        "top_k": TOP_K,
+        "plain_seconds": round(plain_seconds, 4),
+        "plain_scored": plain_scored,
+        "cascade_seconds": round(cascade_seconds, 4),
+        "exact_scored": stats.cascade_exact,
+        "skipped": stats.cascade_skipped,
+        "exact_fraction": round(stats.cascade_exact / shortlisted, 3),
+        "skip_fraction": round(skip_fraction, 3),
+        "speedup": round(plain_seconds / cascade_seconds, 2),
+        "rankings_identical": True,
+    }
+    engine.close()
+    store.close()
+    prepared_store.close()
+
+    assert skip_fraction >= MIN_SKIP_FRACTION, (
+        f"cascade skipped only {skip_fraction:.0%} of the shortlist "
+        f"(< {MIN_SKIP_FRACTION:.0%}): {outcome}"
+    )
+    return outcome
+
+
+def test_rerank_cascade_benchmark():
+    workdir = Path(tempfile.mkdtemp(prefix="bench_pr10_"))
+    try:
+        cascade_stats = _bench_cascade(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    payload = {
+        "benchmark": "bench_rerank_cascade",
+        "smoke": SMOKE,
+        "rerank_cascade": cascade_stats,
+    }
+    _OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    lines = [
+        f"workload:   {NUM_CANDIDATES} warm SemProp candidates "
+        f"({cascade_stats['overlapping']} overlapping), top_k={TOP_K} "
+        f"(smoke={SMOKE})",
+        f"plain       {cascade_stats['plain_seconds']:7.3f} s   "
+        f"{cascade_stats['plain_scored']} scored",
+        f"cascade     {cascade_stats['cascade_seconds']:7.3f} s   "
+        f"{cascade_stats['exact_scored']} scored, "
+        f"{cascade_stats['skipped']} skipped "
+        f"({cascade_stats['skip_fraction']:.0%} of shortlist)",
+        f"speedup     {cascade_stats['speedup']:5.1f}x (rankings identical)",
+        f"written to  {_OUTPUT_PATH.name}",
+    ]
+    print_report(
+        "Cascaded rerank — score bounds + top-k early termination (PR 10)",
+        "\n".join(lines),
+    )

@@ -183,6 +183,22 @@ def build_parser() -> argparse.ArgumentParser:
         "request); an expired query exits with status 124",
     )
     query.add_argument(
+        "--cascade",
+        action="store_true",
+        help="two-stage rerank: score cheap sketch-level bounds first and "
+        "skip candidates that provably cannot reach the top-k (exact "
+        "rankings; skipping only when the matcher declares its bounds "
+        "admissible)",
+    )
+    query.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="anytime rerank budget in milliseconds: stop scoring at the "
+        "deadline and report the best-effort top-k (flagged partial)",
+    )
+    query.add_argument(
         "--stats",
         action="store_true",
         help="print per-stage latencies (p50/p95/p99) and pipeline counters "
@@ -262,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--serial",
         action="store_true",
         help="rerank inline in the dispatcher instead of the process pool",
+    )
+    serve.add_argument(
+        "--cascade",
+        action="store_true",
+        help="arm the two-stage rerank cascade for every served query "
+        "(exact rankings; admissible bounds skip hopeless candidates)",
     )
     serve.add_argument(
         "--reopen-poll-s",
@@ -823,6 +845,8 @@ def _command_lake_query(
     show_stats: bool = False,
     trace_json: Path | None = None,
     timeout_s: float | None = None,
+    cascade: bool = False,
+    budget_ms: float | None = None,
 ) -> int:
     from repro.serve.admission import DeadlineExpired, run_with_deadline
 
@@ -843,6 +867,8 @@ def _command_lake_query(
                 no_prepared_store,
                 show_stats,
                 trace_json,
+                cascade,
+                budget_ms,
             ),
             timeout_s,
         )
@@ -863,6 +889,8 @@ def _run_lake_query(
     no_prepared_store: bool,
     show_stats: bool = False,
     trace_json: Path | None = None,
+    cascade: bool = False,
+    budget_ms: float | None = None,
 ) -> int:
     from repro.discovery.prepared import PreparedStore
     from repro.lake import LakeDiscoveryEngine, SketchStore
@@ -912,6 +940,8 @@ def _run_lake_query(
                         top_k=top,
                         parallel=parallel or workers is not None,
                         max_workers=workers,
+                        cascade=cascade,
+                        budget_ms=budget_ms,
                     )
             else:
                 results = engine.query(
@@ -920,16 +950,28 @@ def _run_lake_query(
                     top_k=top,
                     parallel=parallel or workers is not None,
                     max_workers=workers,
+                    cascade=cascade,
+                    budget_ms=budget_ms,
                 )
         stats = engine.last_query_stats
         warm_note = ""
         if prepared_store is not None:
             warm_note = f", {stats.store_hits} served from the prepared store"
             prepared_store.close()
+        cascade_note = ""
+        if cascade:
+            cascade_note = f", {stats.cascade_skipped} skipped by cascade bound"
         print(
             f"query {query.name!r} against {len(store)} tables "
-            f"({stats.rerank_count} candidates reranked with {method}{warm_note})"
+            f"({stats.rerank_count} candidates reranked with {method}"
+            f"{warm_note}{cascade_note})"
         )
+        if stats.partial:
+            print(
+                f"note: budget of {budget_ms:g} ms expired before all "
+                "candidates were scored — ranking is partial (best-effort)",
+                file=sys.stderr,
+            )
     for result in results:
         best = result.scores.best_pair
         best_text = f"  via {best[0]} ~ {best[1]}" if best else ""
@@ -965,6 +1007,7 @@ def _command_lake_serve(args: argparse.Namespace) -> int:
         parallel=not args.serial,
         max_workers=args.workers,
         reopen_poll_s=args.reopen_poll_s,
+        cascade=args.cascade,
     )
     try:
         server = DiscoveryServer(config).start()
@@ -1105,6 +1148,8 @@ def main(argv: list[str] | None = None) -> int:
             show_stats=args.stats,
             trace_json=args.trace_json,
             timeout_s=args.timeout_s,
+            cascade=args.cascade,
+            budget_ms=args.budget_ms,
         )
     parser.error(f"unknown command {args.command!r}")
     return 2

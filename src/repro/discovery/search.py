@@ -37,6 +37,7 @@ of this core, so their rankings can never drift apart.
 from __future__ import annotations
 
 import csv
+import heapq
 import itertools
 import logging
 import math
@@ -46,12 +47,19 @@ import pickle
 import sqlite3
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.data.table import Table
+from repro.discovery.cascade import (
+    CandidateSignals,
+    RerankCascade,
+    candidate_signals,
+    compute_ranking_bounds,
+    order_by_bound,
+)
 from repro.discovery.prepared import PreparedTableCache
 from repro.discovery.relatedness import RelatednessScores, relatedness
 from repro.matchers.base import BaseMatcher, MatchResult, PreparedTable
@@ -71,6 +79,7 @@ __all__ = [
     "rerank_jobs",
     "fan_out_names",
     "MIN_FAN_OUT",
+    "mode_score",
     "sort_discovery_results",
     "DEFAULT_MIN_CANDIDATES",
     "DEFAULT_CANDIDATE_MULTIPLIER",
@@ -158,6 +167,56 @@ class DiscoveryResult:
     @property
     def unionability(self) -> float:
         return self.scores.unionability
+
+
+def mode_score(result: DiscoveryResult, mode: str) -> float:
+    """The scalar a *mode* ranks by — the value the cascade cutoff tracks."""
+    if mode == "joinable":
+        return result.joinability
+    if mode == "unionable":
+        return result.unionability
+    if mode == "combined":
+        return result.scores.combined()
+    raise ValueError(f"unknown discovery mode {mode!r}")
+
+
+class _TopKCutoff:
+    """Min-heap of the k best exact mode-scores seen so far.
+
+    Once *k* scores are in, :attr:`value` is the running k-th best: any
+    candidate whose admissible bound is **strictly** below it cannot enter
+    the top k (its true score would rank strictly below k already-scored
+    candidates, regardless of name tie-breaks).  The k-th best of any
+    subset of the exact scores is a lower bound of the final k-th best —
+    scoring more candidates can only raise it — so a stale cutoff is
+    always safe, merely less aggressive.
+    """
+
+    __slots__ = ("k", "_heap")
+
+    def __init__(self, k: Optional[int]) -> None:
+        self.k = k
+        self._heap: list[float] = []
+
+    @property
+    def value(self) -> Optional[float]:
+        if self.k is not None and len(self._heap) >= self.k:
+            return self._heap[0]
+        return None
+
+    def observe(self, score: float) -> bool:
+        """Fold one exact score in; True when the cutoff value tightened."""
+        if self.k is None:
+            return False
+        before = self.value
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, score)
+        elif score > self._heap[0]:
+            heapq.heapreplace(self._heap, score)
+        else:
+            return False
+        after = self.value
+        return after is not None and (before is None or after > before)
 
 
 def sort_discovery_results(results: list[DiscoveryResult], mode: str) -> None:
@@ -317,6 +376,16 @@ class RerankPool:
             telemetry.count("rerank_pool.respawns")
             self.close()
             return list(self._ensure_executor().map(fn, tasks))
+
+    def submit(self, fn: Callable, task: object) -> Future:
+        """Submit one task to the warm workers; returns its future.
+
+        The streaming primitive behind the cascade dispatcher: unlike
+        :meth:`map`, per-future failures (including ``BrokenProcessPool``)
+        surface to the caller, who owns the retry decision for the whole
+        streamed batch.
+        """
+        return self._ensure_executor().submit(fn, task)
 
     def close(self) -> None:
         """Shut the executor down; the next :meth:`map` spawns a fresh one."""
@@ -527,12 +596,20 @@ def fan_out_names(query_name: str, candidate_names: Iterable[str]) -> list[str]:
     return [name for name in candidate_names if name != query_name]
 
 
-def _chunked(items: list, workers: int) -> list[list]:
+def _chunked(items: Sequence, workers: int) -> Iterator[list]:
+    """Lazily yield contiguous chunks of *items* sized for *workers*.
+
+    A generator (not a materialised list of lists) so consumers that
+    interleave chunk dispatch with other work — the cascade's streaming
+    dispatcher tightening its cutoff between submissions — never pay for
+    slicing chunks they may decide not to submit (budget exhausted).
+    """
     if not items:
-        return []
+        return
     chunk_count = max(1, min(len(items), workers * _CHUNKS_PER_WORKER))
     size = math.ceil(len(items) / chunk_count)
-    return [items[start : start + size] for start in range(0, len(items), size)]
+    for start in range(0, len(items), size):
+        yield list(items[start : start + size])
 
 
 @dataclass
@@ -637,6 +714,285 @@ def _parallel_rerank(
     )[0]
 
 
+# --------------------------------------------------------------------- #
+# cascaded rerank (stage-2 skip + streaming dispatch)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _CascadeState:
+    """Per-chunk cascade parameters, piggybacked on chunk dispatch.
+
+    ``cutoff`` is the parent's top-k cutoff at submit time — stale by the
+    time the worker runs, but a stale cutoff only under-skips, never
+    mis-skips (see :class:`_TopKCutoff`).  Workers tighten it further with
+    their own chunk-local heap.  ``deadline`` is an absolute
+    ``perf_counter`` value (``CLOCK_MONOTONIC`` on Linux, shared machine
+    wide, the same convention as the chunk stats epoch).
+    """
+
+    cutoff: Optional[float]
+    k: Optional[int]
+    mode: str
+    deadline: Optional[float]
+    trusted: bool
+
+
+#: One cascade chunk task: the ``_RerankChunk`` layout with per-name bounds
+#: in the items (``[(name, ranking bound), ...]``) and the cascade state
+#: appended.  Cascade chunks always carry a worker source — the streaming
+#: path only runs worker-resolved.
+_CascadeChunk = tuple[
+    str, bytes, WorkerCandidateSource, list, Optional[float], _CascadeState
+]
+
+
+def _score_cascade_chunk(
+    task: _CascadeChunk,
+) -> tuple[list[DiscoveryResult], int, int, int, bool]:
+    """Skip, resolve, then score one cascade chunk inside a worker.
+
+    Returns ``(results, store hits, skipped, scored, budget stopped)``.
+    Names whose dispatched bound undercuts the cutoff are dropped *before*
+    resolution — a skipped candidate costs neither a store read nor a CSV
+    load.  Survivors are scored in bound order against the tighter of the
+    dispatched cutoff and the worker's own running top-k.
+    """
+    token, state_blob, source, items, _epoch, cstate = task
+    scorer, query_prepared = _load_query_state(token, state_blob)
+    cutoff = cstate.cutoff
+    skipped = 0
+    survivors: list[tuple[str, float]] = []
+    if cstate.trusted and cutoff is not None:
+        for name, bound in items:
+            if bound < cutoff:
+                skipped += 1
+            else:
+                survivors.append((name, bound))
+    else:
+        survivors = list(items)
+    results: list[DiscoveryResult] = []
+    store_hits = 0
+    scored = 0
+    stopped = False
+    expired = cstate.deadline is not None and time.perf_counter() >= cstate.deadline
+    if survivors and expired:
+        stopped = True
+    elif survivors:
+        with telemetry.span("rerank.resolve_chunk", size=len(survivors)):
+            candidates, store_hits = _resolve_chunk_in_worker(
+                source, [name for name, _ in survivors], scorer
+            )
+        bound_of = dict(survivors)
+        local = _TopKCutoff(cstate.k)
+        with telemetry.span("rerank.score_chunk", size=len(candidates)):
+            for candidate in candidates:
+                if (
+                    cstate.deadline is not None
+                    and time.perf_counter() >= cstate.deadline
+                ):
+                    stopped = True
+                    break
+                if cstate.trusted:
+                    effective = cutoff
+                    local_value = local.value
+                    if local_value is not None and (
+                        effective is None or local_value > effective
+                    ):
+                        effective = local_value
+                    if (
+                        effective is not None
+                        and bound_of.get(candidate.name, math.inf) < effective
+                    ):
+                        skipped += 1
+                        continue
+                result = scorer.score_prepared(query_prepared, candidate)
+                results.append(result)
+                scored += 1
+                local.observe(mode_score(result, cstate.mode))
+    telemetry.count("discovery.candidates_scored", scored)
+    return results, store_hits, skipped, scored, stopped
+
+
+def _cascade_worker_chunk(
+    task: _CascadeChunk,
+) -> tuple[
+    list[DiscoveryResult], int, int, int, bool, Optional["telemetry.TelemetrySnapshot"]
+]:
+    """One cascade chunk task with the usual telemetry piggyback."""
+    epoch = task[4]
+    if epoch is None:
+        return (*_score_cascade_chunk(task), None)
+    recorder = telemetry.TelemetryRecorder()
+    with telemetry.use(recorder):
+        recorder.observe("rerank.queue_wait", max(0.0, time.perf_counter() - epoch))
+        with recorder.span("rerank.chunk", size=len(task[3])):
+            outcome = _score_cascade_chunk(task)
+    return (*outcome, recorder.snapshot())
+
+
+def _cascade_dispatch(
+    scorer: PairScorer,
+    query_prepared: PreparedTable,
+    ordered_names: Sequence[str],
+    bounds: dict[str, float],
+    trusted: bool,
+    source: WorkerCandidateSource,
+    executor: ProcessPoolExecutor,
+    workers: int,
+    mode: str,
+    top_k: Optional[int],
+    deadline: Optional[float],
+) -> tuple[list[DiscoveryResult], int, int, int, int, bool]:
+    """Stream bound-ordered chunks through *executor*, tightening the cutoff.
+
+    Unlike :func:`rerank_jobs`' single batched submission, chunks are kept
+    at most ``workers`` in flight and every new submission piggybacks the
+    *current* top-k cutoff — the first wave (the best bounds, which seed
+    the cutoff) informs every later wave, which is where the skips come
+    from.  Returns ``(results, store hits, skipped, scored, cutoff
+    updates, budget stopped)``; per-future errors (``BrokenProcessPool``)
+    propagate to the caller, which owns the retry.
+    """
+    recorder = telemetry.get_recorder()
+    epoch = time.perf_counter() if recorder.enabled else None
+    state_blob = pickle.dumps((scorer, query_prepared), protocol=4)
+    token = f"{os.getpid()}-{next(_QUERY_TOKENS)}"
+    chunks = _chunked(ordered_names, workers)
+    cutoff = _TopKCutoff(top_k)
+    results: list[DiscoveryResult] = []
+    store_hits = 0
+    skipped = 0
+    scored = 0
+    cutoff_updates = 0
+    budget_stopped = False
+    submitted = 0
+    exhausted = False
+    pending: set[Future] = set()
+
+    def submit_one() -> bool:
+        nonlocal submitted, exhausted, budget_stopped
+        if exhausted:
+            return False
+        if deadline is not None and time.perf_counter() >= deadline:
+            # Budget spent: stop dispatching.  Partial only if work remained.
+            if next(chunks, None) is not None:
+                budget_stopped = True
+            exhausted = True
+            return False
+        chunk = next(chunks, None)
+        if chunk is None:
+            exhausted = True
+            return False
+        items = [(name, bounds.get(name, math.inf)) for name in chunk]
+        state = _CascadeState(
+            cutoff=cutoff.value,
+            k=top_k,
+            mode=mode,
+            deadline=deadline,
+            trusted=trusted,
+        )
+        pending.add(
+            executor.submit(
+                _cascade_worker_chunk,
+                (token, state_blob, source, items, epoch, state),
+            )
+        )
+        submitted += 1
+        return True
+
+    while len(pending) < workers and submit_one():
+        pass
+    while pending:
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            (
+                chunk_results,
+                chunk_hits,
+                chunk_skipped,
+                chunk_scored,
+                chunk_stopped,
+                snapshot,
+            ) = future.result()
+            results.extend(chunk_results)
+            store_hits += chunk_hits
+            skipped += chunk_skipped
+            scored += chunk_scored
+            budget_stopped = budget_stopped or chunk_stopped
+            if snapshot is not None:
+                recorder.merge(snapshot)
+            for result in chunk_results:
+                if cutoff.observe(mode_score(result, mode)):
+                    cutoff_updates += 1
+        while len(pending) < workers and submit_one():
+            pass
+    telemetry.count("rerank_pool.chunks", submitted)
+    return results, store_hits, skipped, scored, cutoff_updates, budget_stopped
+
+
+def _cascade_parallel_rerank(
+    scorer: PairScorer,
+    query_prepared: PreparedTable,
+    ordered_names: Sequence[str],
+    bounds: dict[str, float],
+    trusted: bool,
+    source: WorkerCandidateSource,
+    pool: Optional[RerankPool],
+    max_workers: Optional[int],
+    mode: str,
+    top_k: Optional[int],
+    deadline: Optional[float],
+) -> tuple[list[DiscoveryResult], int, int, int, int, bool]:
+    """The streaming counterpart of :func:`_parallel_rerank` for cascades.
+
+    Mirrors :meth:`RerankPool.map`'s healing: a ``BrokenProcessPool`` on
+    the persistent pool respawns it and replays the whole stream once
+    (chunk results from the broken attempt are discarded — cascade
+    counters must describe exactly one coherent pass).
+    """
+    workers = pool.workers if pool is not None else (max_workers or os.cpu_count() or 1)
+    args = (scorer, query_prepared, ordered_names, bounds, trusted, source)
+    if pool is not None:
+        try:
+            return _cascade_dispatch(
+                *args, pool._ensure_executor(), workers, mode, top_k, deadline
+            )
+        except BrokenProcessPool:
+            logger.warning(
+                "rerank pool broke mid-cascade; respawning and retrying the stream"
+            )
+            telemetry.count("rerank_pool.respawns")
+            pool.close()
+            return _cascade_dispatch(
+                *args, pool._ensure_executor(), workers, mode, top_k, deadline
+            )
+    with ProcessPoolExecutor(
+        max_workers=max_workers,
+        mp_context=multiprocessing.get_context("spawn"),
+    ) as executor:
+        return _cascade_dispatch(*args, executor, workers, mode, top_k, deadline)
+
+
+def _finish_cascade(
+    cascade: RerankCascade,
+    skipped: int,
+    scored: int,
+    cutoff_updates: int,
+    stopped: bool,
+) -> None:
+    """Record a finished cascade's outcome on the spec and in telemetry."""
+    cascade.skipped = skipped
+    cascade.exact_scored = scored
+    cascade.cutoff_updates = cutoff_updates
+    cascade.partial = stopped
+    telemetry.count("rerank.cascade.skipped", skipped)
+    telemetry.count("rerank.cascade.exact", scored)
+    if cutoff_updates:
+        telemetry.count("rerank.cutoff_updates", cutoff_updates)
+    if stopped:
+        telemetry.count("rerank.budget_stops")
+
+
 def prune_then_rerank(
     query: Table,
     candidate_names: Iterable[str],
@@ -650,6 +1006,7 @@ def prune_then_rerank(
     prepared_cache: Optional[PreparedTableCache] = None,
     worker_source: Optional[WorkerCandidateSource] = None,
     pool: Optional[RerankPool] = None,
+    cascade: Optional[RerankCascade] = None,
 ) -> tuple[list[DiscoveryResult], int]:
     """The discovery core shared by every engine: resolve, rerank, sort.
 
@@ -698,6 +1055,16 @@ def prune_then_rerank(
     pool:
         Optional persistent :class:`RerankPool`.  Without one, each
         parallel call spawns (and tears down) a transient pool.
+    cascade:
+        Optional :class:`~repro.discovery.cascade.RerankCascade` arming the
+        two-stage cascade: candidates are scored best-bound-first and —
+        when the matcher declares its bounds admissible — skipped outright
+        once their bound falls below the running top-k cutoff.  An optional
+        anytime ``budget_ms`` stops scoring at the deadline and flags the
+        spec ``partial``.  Outcome counters are written back onto the spec.
+        Without a budget, cascaded rankings are identical to uncascaded
+        ones (admissibility guarantees skips cannot evict a true top-k
+        member; re-ordering cannot change the final sort).
 
     Returns
     -------
@@ -715,16 +1082,115 @@ def prune_then_rerank(
                     query_prepared = prepared_cache.prepare(scorer.matcher, query)
                 else:
                     query_prepared = scorer.matcher.prepare(query)
-            with telemetry.span("discovery.score", candidates=len(names)):
-                results, store_hits = _parallel_rerank(
-                    scorer, query_prepared, names, worker_source, pool, max_workers
+            if cascade is None:
+                with telemetry.span("discovery.score", candidates=len(names)):
+                    results, store_hits = _parallel_rerank(
+                        scorer, query_prepared, names, worker_source, pool, max_workers
+                    )
+                worker_source.store_hits = store_hits
+                with telemetry.span("discovery.sort"):
+                    sort_discovery_results(results, mode)
+                truncated = results[:top_k] if top_k is not None else results
+                return truncated, len(results)
+            with telemetry.span("rerank.cascade", candidates=len(names)):
+                bound_of, trusted = compute_ranking_bounds(
+                    scorer.matcher,
+                    query_prepared,
+                    cascade.signals,
+                    mode,
+                    scorer.union_threshold,
+                )
+                ordered = order_by_bound(names, bound_of, cascade.signals)
+            deadline = cascade.start_deadline()
+            with telemetry.span("discovery.score", candidates=len(ordered)):
+                (
+                    results,
+                    store_hits,
+                    skipped,
+                    scored,
+                    cutoff_updates,
+                    stopped,
+                ) = _cascade_parallel_rerank(
+                    scorer,
+                    query_prepared,
+                    ordered,
+                    bound_of,
+                    trusted,
+                    worker_source,
+                    pool,
+                    max_workers,
+                    mode,
+                    top_k,
+                    deadline,
                 )
             worker_source.store_hits = store_hits
+            _finish_cascade(cascade, skipped, scored, cutoff_updates, stopped)
             with telemetry.span("discovery.sort"):
                 sort_discovery_results(results, mode)
             truncated = results[:top_k] if top_k is not None else results
-            return truncated, len(results)
+            return truncated, scored
         candidate_names = names
+    if cascade is not None:
+        # Streamed cascade without worker-side resolution.  This also covers
+        # ``parallel=True`` with a parent-side resolver: the cutoff needs
+        # exact-score feedback between candidates, and without a worker
+        # source every candidate payload would ship to the pool anyway.
+        with telemetry.span("discovery.prepare_query", table=query.name):
+            if prepared_cache is not None:
+                query_prepared = prepared_cache.prepare(scorer.matcher, query)
+            else:
+                query_prepared = scorer.matcher.prepare(query)
+        with telemetry.span("rerank.cascade", candidates=len(cascade.signals)):
+            bound_of, trusted = compute_ranking_bounds(
+                scorer.matcher,
+                query_prepared,
+                cascade.signals,
+                mode,
+                scorer.union_threshold,
+            )
+            names = [name for name in candidate_names if name != query.name]
+            names = order_by_bound(names, bound_of, cascade.signals)
+        deadline = cascade.start_deadline()
+        cutoff = _TopKCutoff(top_k)
+        cache_candidates = (
+            prepared_cache is not None
+            and not scorer.matcher.prefers_legacy_get_matches()
+        )
+        results = []
+        dropped = skipped = scored = cutoff_updates = 0
+        stopped = False
+        with telemetry.span("discovery.score", candidates=len(names)):
+            for name in names:
+                if deadline is not None and time.perf_counter() >= deadline:
+                    stopped = True
+                    break
+                if (
+                    trusted
+                    and cutoff.value is not None
+                    and bound_of.get(name, math.inf) < cutoff.value
+                ):
+                    skipped += 1
+                    continue
+                candidate = resolve(name)
+                if candidate is None:
+                    dropped += 1
+                    continue
+                if cache_candidates and not isinstance(candidate, PreparedTable):
+                    candidate = prepared_cache.prepare(scorer.matcher, candidate)
+                result = scorer.score_prepared(query_prepared, candidate)
+                results.append(result)
+                scored += 1
+                if cutoff.observe(mode_score(result, mode)):
+                    cutoff_updates += 1
+        if dropped:
+            telemetry.count("discovery.candidates_dropped", dropped)
+            logger.debug("%d shortlisted candidates could not be resolved", dropped)
+        telemetry.count("discovery.candidates_scored", scored)
+        _finish_cascade(cascade, skipped, scored, cutoff_updates, stopped)
+        with telemetry.span("discovery.sort"):
+            sort_discovery_results(results, mode)
+        truncated = results[:top_k] if top_k is not None else results
+        return truncated, scored
     candidates: list[Union[Table, PreparedTable]] = []
     dropped = 0
     with telemetry.span("discovery.resolve"):
@@ -797,6 +1263,11 @@ class DiscoveryEngine:
     matcher: BaseMatcher
     union_threshold: float = DEFAULT_UNION_THRESHOLD
     prepared_cache: Optional[PreparedTableCache] = None
+    #: The :class:`~repro.discovery.cascade.RerankCascade` spec of the last
+    #: :meth:`discover` call (outcome counters filled in), or ``None`` when
+    #: the cascade was off — the brute-force counterpart of the lake
+    #: engine's ``last_query_stats`` cascade fields.
+    last_cascade: Optional[RerankCascade] = field(default=None, repr=False, init=False)
 
     def _scorer(self) -> PairScorer:
         return PairScorer(matcher=self.matcher, union_threshold=self.union_threshold)
@@ -815,6 +1286,8 @@ class DiscoveryEngine:
         candidate_limit: Optional[int] = None,
         parallel: bool = False,
         max_workers: Optional[int] = None,
+        cascade: bool = False,
+        budget_ms: Optional[float] = None,
     ) -> list[DiscoveryResult]:
         """Rank repository tables against *query*.
 
@@ -843,6 +1316,14 @@ class DiscoveryEngine:
         parallel / max_workers:
             Rerank candidates in a process pool (workers receive the
             prepared query once each).
+        cascade / budget_ms:
+            Arm the two-stage rerank cascade and/or an anytime budget, with
+            the same semantics as :meth:`LakeDiscoveryEngine.query
+            <repro.lake.engine.LakeDiscoveryEngine.query>`.  With no
+            persistent sketch store, stage-1 signals are sketched from the
+            repository on the fly (cheap relative to the matchers the
+            cascade exists to skip).  The spec — outcome counters included —
+            is left on :attr:`last_cascade`.
         """
         if index is not None:
             limit = candidate_limit
@@ -853,6 +1334,30 @@ class DiscoveryEngine:
             names: Iterable[str] = index.shortlist(query, limit)
         else:
             names = repository.table_names
+        spec: Optional[RerankCascade] = None
+        if cascade or budget_ms is not None:
+            names = list(names)
+            signals: dict[str, CandidateSignals] = {}
+            if cascade:
+                # Imported lazily: repro.lake imports this module at package
+                # import time (cycle guard); by the time a query runs, both
+                # sides are fully initialised.
+                from repro.lake.profiles import SketchConfig, sketch_table
+
+                config = SketchConfig()
+                query_sketch = sketch_table(query, config, content_hash="")
+                for name in names:
+                    if name == query.name:
+                        continue
+                    table = repository.get(name)
+                    if table is None or not table.columns:
+                        continue
+                    candidate = sketch_table(table, config, content_hash="")
+                    signals[name] = candidate_signals(
+                        query_sketch, candidate.columns, seed=config.seed
+                    )
+            spec = RerankCascade(signals=signals, budget_ms=budget_ms)
+        self.last_cascade = spec
         results, _ = prune_then_rerank(
             query,
             names,
@@ -863,5 +1368,6 @@ class DiscoveryEngine:
             parallel=parallel,
             max_workers=max_workers,
             prepared_cache=self.prepared_cache,
+            cascade=spec,
         )
         return results

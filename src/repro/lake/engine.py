@@ -41,6 +41,7 @@ from typing import Iterable, Optional, Sequence, Union
 
 from repro.data.csv_io import read_csv
 from repro.data.table import Table
+from repro.discovery.cascade import CandidateSignals, RerankCascade, candidate_signals
 from repro.discovery.prepared import PreparedStore, PreparedTableCache
 from repro.discovery.search import (
     DEFAULT_CANDIDATE_MULTIPLIER,
@@ -60,7 +61,7 @@ from repro.discovery.search import (
 )
 from repro.lake.index import CandidateTable, LakeIndex, LSHParams
 from repro.lake.profiles import sketch_table
-from repro.lake.store import SketchStore
+from repro.lake.store import SketchStore, TableMeta
 from repro.matchers.base import BaseMatcher, PreparedTable
 from repro.telemetry import recorder as telemetry
 from repro.telemetry.recorder import TelemetryRecorder
@@ -77,6 +78,43 @@ class BatchQueryResult:
 
     results: list[DiscoveryResult]
     stats: QueryStats
+
+
+class _LazyPreparedShortlist:
+    """Prepared-payload lookup that loads one candidate per first access.
+
+    Duck-typed stand-in for the eager prefetch dict
+    (:meth:`LakeDiscoveryEngine._prefetch_prepared`) on cascaded reranks:
+    the cascade's bounds skip most of the shortlist before it is ever
+    resolved, so decoding every stored payload up front would spend the
+    very time the skips save.  Lookups are keyed by the same build-time
+    content hashes, so hit semantics (and staleness behaviour) match the
+    eager path exactly; misses are cached as ``None`` so a candidate never
+    pays the store round trip twice.
+    """
+
+    def __init__(
+        self,
+        prepared_store: Optional[PreparedStore],
+        fingerprint: str,
+        hashes: dict[str, str],
+    ) -> None:
+        self._store = prepared_store
+        self._fingerprint = fingerprint
+        self._hashes = hashes
+        self._cache: dict[str, Optional[PreparedTable]] = {}
+
+    def get(self, name: str) -> Optional[PreparedTable]:
+        if name in self._cache:
+            return self._cache[name]
+        prepared: Optional[PreparedTable] = None
+        content_hash = self._hashes.get(name)
+        if self._store is not None and content_hash:
+            prepared = self._store.get_many(
+                self._fingerprint, [(name, content_hash)]
+            ).get(name)
+        self._cache[name] = prepared
+        return prepared
 
 
 @dataclass
@@ -271,11 +309,58 @@ class LakeDiscoveryEngine:
         self, query: Table, top_k: Optional[int] = None
     ) -> list[CandidateTable]:
         """Sketch *query* and return the index's candidate tables."""
+        return self._shortlist_with_sketch(query, top_k)[0]
+
+    def _shortlist_with_sketch(
+        self, query: Table, top_k: Optional[int] = None
+    ) -> tuple[list[CandidateTable], "object"]:
+        """:meth:`shortlist` plus the query sketch it was probed with.
+
+        The cascade's stage-1 signals compare candidate sketches against the
+        *same* query sketch the LSH shortlist used, so stage 1 never pays a
+        second sketching pass.
+        """
         limit = None
         if top_k is not None:
             limit = max(self.min_candidates, self.candidate_multiplier * top_k)
         sketch = sketch_table(query, self.store.config, content_hash="")
-        return self.index.candidate_tables(sketch, top_k=limit)
+        return self.index.candidate_tables(sketch, top_k=limit), sketch
+
+    def _cascade_spec(
+        self,
+        query_sketch: "object",
+        names: list[str],
+        query_name: str,
+        cascade: bool,
+        budget_ms: Optional[float],
+    ) -> tuple[Optional[RerankCascade], Optional[dict[str, TableMeta]]]:
+        """Build the rerank's :class:`RerankCascade`, or ``None`` when off.
+
+        With ``cascade=True`` the shortlist's stored column sketches are
+        batch-loaded (one extra ``IN (...)`` query via
+        :meth:`SketchStore.table_meta`) and condensed into per-candidate
+        stage-1 signals; the rich meta is returned alongside the spec so
+        the caller can reuse its build-time content hashes instead of
+        re-querying :meth:`SketchStore.table_meta`.  A budget without the
+        cascade still arms the spec — empty signals give every candidate a
+        ``+inf`` bound, so nothing is skipped or re-ordered and only the
+        deadline applies (and no meta is fetched).
+        """
+        if not cascade and budget_ms is None:
+            return None, None
+        signals: dict[str, CandidateSignals] = {}
+        meta: Optional[dict[str, TableMeta]] = None
+        if cascade:
+            wanted = [name for name in names if name != query_name]
+            meta = self.store.table_meta(wanted, include_sketches=True)
+            for name in wanted:
+                entry = meta.get(name)
+                if entry is None or not entry.columns:
+                    continue
+                signals[name] = candidate_signals(
+                    query_sketch, entry.columns, seed=self.store.config.seed
+                )
+        return RerankCascade(signals=signals, budget_ms=budget_ms), meta
 
     def _prepared_provider(self) -> Optional[Union[PreparedTableCache, PreparedStore]]:
         """The write-through prepared provider for this engine's reranks.
@@ -324,7 +409,7 @@ class LakeDiscoveryEngine:
         self,
         name: str,
         repository: Optional[DatasetRepository],
-        prefetched: dict[str, PreparedTable],
+        prefetched: Union[dict[str, PreparedTable], _LazyPreparedShortlist],
     ) -> Optional[Union[Table, PreparedTable]]:
         if repository is not None:
             table = repository.get(name)
@@ -365,6 +450,8 @@ class LakeDiscoveryEngine:
         top_k: Optional[int] = None,
         parallel: bool = False,
         max_workers: Optional[int] = None,
+        cascade: bool = False,
+        budget_ms: Optional[float] = None,
     ) -> list[DiscoveryResult]:
         """Rank lake tables against *query*: prune with the index, rerank.
 
@@ -392,6 +479,17 @@ class LakeDiscoveryEngine:
         max_workers:
             Pool size for the parallel path (fixed when the persistent
             pool is first created; default: executor's choice).
+        cascade:
+            Arm the two-stage rerank cascade: stage 1 derives per-candidate
+            score bounds from the stored sketches, stage 2 runs the matcher
+            best-bound-first and — when the matcher declares its bounds
+            admissible — skips candidates proven unable to reach the top-k.
+            Without a budget the ranking is identical to ``cascade=False``.
+        budget_ms:
+            Anytime budget for the rerank stage, in milliseconds.  When the
+            deadline passes, scoring stops and the current best-effort top-k
+            is returned with ``last_query_stats.partial`` set.  Works with
+            or without ``cascade``.
 
         Afterwards :attr:`last_query_stats` holds the structured statistics
         of this query (stage durations, shortlist/rerank sizes, store hits).
@@ -406,12 +504,14 @@ class LakeDiscoveryEngine:
         start = time.perf_counter()
         if child is not None:
             with telemetry.use(child):
-                results, stage_seconds, shortlist_size = self._run_query(
-                    query, repository, mode, top_k, parallel, max_workers
+                results, stage_seconds, shortlist_size, spec = self._run_query(
+                    query, repository, mode, top_k, parallel, max_workers,
+                    cascade, budget_ms,
                 )
         else:
-            results, stage_seconds, shortlist_size = self._run_query(
-                query, repository, mode, top_k, parallel, max_workers
+            results, stage_seconds, shortlist_size, spec = self._run_query(
+                query, repository, mode, top_k, parallel, max_workers,
+                cascade, budget_ms,
             )
         total_seconds = time.perf_counter() - start
         snapshot = None
@@ -428,6 +528,9 @@ class LakeDiscoveryEngine:
             total_seconds=total_seconds,
             shortlist_seconds=stage_seconds[0],
             rerank_seconds=stage_seconds[1],
+            partial=spec.partial if spec is not None else False,
+            cascade_skipped=spec.skipped if spec is not None else 0,
+            cascade_exact=spec.exact_scored if spec is not None else 0,
             snapshot=snapshot,
         )
         return results
@@ -485,11 +588,19 @@ class LakeDiscoveryEngine:
         top_k: Optional[int],
         parallel: bool,
         max_workers: Optional[int],
-    ) -> tuple[list[DiscoveryResult], tuple[float, float], int]:
-        """The two-stage plan itself; returns (results, stage seconds, shortlist size)."""
+        cascade: bool = False,
+        budget_ms: Optional[float] = None,
+    ) -> tuple[
+        list[DiscoveryResult], tuple[float, float], int, Optional[RerankCascade]
+    ]:
+        """The two-stage plan itself.
+
+        Returns ``(results, stage seconds, shortlist size, cascade spec)`` —
+        the spec is ``None`` unless the cascade or a budget was armed.
+        """
         shortlist_start = time.perf_counter()
         with telemetry.span("query.shortlist", table=query.name):
-            shortlist = self.shortlist(query, top_k=top_k)
+            shortlist, query_sketch = self._shortlist_with_sketch(query, top_k)
         shortlist_seconds = time.perf_counter() - shortlist_start
         names = [entry.table_name for entry in shortlist]
         self._store_hits = 0
@@ -497,11 +608,30 @@ class LakeDiscoveryEngine:
         worker_source = self._worker_source_for(
             query.name, names, repository, parallel, fingerprint
         )
-        prefetched: dict[str, PreparedTable] = {}
+        spec, rich_meta = self._cascade_spec(
+            query_sketch, names, query.name, cascade, budget_ms
+        )
+        prefetched: Union[dict[str, PreparedTable], _LazyPreparedShortlist] = {}
         if fingerprint is not None and worker_source is None:
-            prefetched = self._prefetch_prepared(
-                names, query.name, repository, fingerprint
-            )
+            if rich_meta is not None:
+                # The cascade skips most of the shortlist, so eagerly
+                # decoding every stored payload would waste the very work
+                # the bounds save.  Reuse the content hashes the stage-1
+                # fetch already paid for and load payloads one scored
+                # candidate at a time.
+                hashes = {
+                    name: entry.content_hash
+                    for name, entry in rich_meta.items()
+                    if entry.content_hash
+                    and (repository is None or repository.get(name) is None)
+                }
+                prefetched = _LazyPreparedShortlist(
+                    self.prepared_store, fingerprint, hashes
+                )
+            else:
+                prefetched = self._prefetch_prepared(
+                    names, query.name, repository, fingerprint
+                )
         pool = self._ensure_rerank_pool(max_workers) if parallel else None
         rerank_start = time.perf_counter()
         results, rerank_count = prune_then_rerank(
@@ -516,12 +646,13 @@ class LakeDiscoveryEngine:
             prepared_cache=self._prepared_provider(),
             worker_source=worker_source,
             pool=pool,
+            cascade=spec,
         )
         rerank_seconds = time.perf_counter() - rerank_start
         if worker_source is not None:
             self._store_hits = worker_source.store_hits
         self.last_rerank_count = rerank_count
-        return results, (shortlist_seconds, rerank_seconds), len(names)
+        return results, (shortlist_seconds, rerank_seconds), len(names), spec
 
     def query_many(
         self,
@@ -531,6 +662,8 @@ class LakeDiscoveryEngine:
         top_k: Optional[int] = None,
         parallel: bool = False,
         max_workers: Optional[int] = None,
+        cascade: bool = False,
+        budget_ms: Optional[float] = None,
     ) -> list[BatchQueryResult]:
         """Run several queries as one batch, sharing the rerank fan-out.
 
@@ -552,7 +685,47 @@ class LakeDiscoveryEngine:
         unit); unlike :meth:`query`, no per-query child recorder is created
         — callers serving traffic keep one long-lived recorder active and
         read merged counters from it.
+
+        When ``cascade`` or ``budget_ms`` is armed, each query runs through
+        :meth:`_run_query` individually instead of contributing to the
+        shared :func:`~repro.discovery.search.rerank_jobs` fan-out: the
+        cascade's top-k cutoff is per-query state, and an anytime budget is
+        a per-request deadline — neither survives being fused into one batch
+        submission.  The cascade's own streaming dispatcher keeps the shared
+        pool busy within each query.
         """
+        if cascade or budget_ms is not None:
+            outcomes = []
+            for query in queries:
+                query_start = time.perf_counter()
+                results, stage_seconds, shortlist_size, spec = self._run_query(
+                    query, repository, mode, top_k, parallel, max_workers,
+                    cascade, budget_ms,
+                )
+                outcomes.append(
+                    BatchQueryResult(
+                        results=results,
+                        stats=QueryStats(
+                            query_name=query.name,
+                            mode=mode,
+                            parallel=parallel,
+                            shortlist_size=shortlist_size,
+                            rerank_count=self.last_rerank_count,
+                            store_hits=self._store_hits,
+                            total_seconds=time.perf_counter() - query_start,
+                            shortlist_seconds=stage_seconds[0],
+                            rerank_seconds=stage_seconds[1],
+                            partial=spec.partial if spec is not None else False,
+                            cascade_skipped=spec.skipped if spec is not None else 0,
+                            cascade_exact=(
+                                spec.exact_scored if spec is not None else 0
+                            ),
+                        ),
+                    )
+                )
+            if outcomes:
+                self.last_query_stats = outcomes[-1].stats
+            return outcomes
         scorer = PairScorer(matcher=self.matcher, union_threshold=self.union_threshold)
         outcomes: list[Optional[BatchQueryResult]] = [None] * len(queries)
         jobs: list[RerankJob] = []

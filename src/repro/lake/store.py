@@ -29,7 +29,7 @@ import json
 import logging
 import sqlite3
 from pathlib import Path
-from typing import Callable, Iterator, Optional, Sequence, Union
+from typing import Callable, Iterator, NamedTuple, Optional, Sequence, Union
 
 from repro.data.sqlite_store import _MAX_IN_VARS, PerProcessSqliteStore
 from repro.data.table import Table
@@ -44,7 +44,22 @@ from repro.telemetry import recorder as telemetry
 
 logger = logging.getLogger(__name__)
 
-__all__ = ["SketchStore", "store_generation"]
+__all__ = ["SketchStore", "TableMeta", "store_generation"]
+
+
+class TableMeta(NamedTuple):
+    """One table's batch-resolved metadata plus (optionally) its sketches.
+
+    The return unit of :meth:`SketchStore.table_meta` with
+    ``include_sketches=True``: identity metadata and the decoded
+    :class:`~repro.lake.profiles.ColumnSketch` objects, all pulled in one
+    ``IN (...)`` round trip per ~500 names — what the rerank cascade's
+    stage 1 scores candidates with, without per-candidate point queries.
+    """
+
+    content_hash: str
+    source_path: Optional[str]
+    columns: tuple[ColumnSketch, ...]
 
 #: The generation of a store file: identity of the inode plus the monotone
 #: store version inside it.
@@ -383,8 +398,8 @@ class SketchStore(PerProcessSqliteStore):
         return row[0] if row else None
 
     def table_meta(
-        self, names: Sequence[str]
-    ) -> dict[str, tuple[str, Optional[str]]]:
+        self, names: Sequence[str], include_sketches: bool = False
+    ) -> dict[str, Union[tuple[str, Optional[str]], TableMeta]]:
         """Batch ``{name: (content hash, source path)}`` lookup.
 
         One ``IN (...)`` query per ~500 names instead of two point lookups
@@ -392,9 +407,19 @@ class SketchStore(PerProcessSqliteStore):
         chunk) resolves its candidates' build-time hashes and CSV paths in
         a single store round trip.  Unknown names are absent from the
         result.
+
+        With ``include_sketches=True`` each entry is a :class:`TableMeta`
+        whose ``columns`` carry the decoded column sketches, joined in via
+        one extra batched ``IN (...)`` query over the columns table — the
+        rerank cascade's stage-1 signal source (histograms + MinHash for a
+        whole shortlist, no per-candidate round trips).  Column payloads
+        that fail to decode leave that table's ``columns`` empty rather
+        than failing the batch (the cascade then scores it exactly).
         """
         names = list(names)
-        out: dict[str, tuple[str, Optional[str]]] = {}
+        out: dict[str, Union[tuple[str, Optional[str]], TableMeta]] = {}
+        sketches: dict[str, list[ColumnSketch]] = {}
+        corrupt: set[str] = set()
         for start in range(0, len(names), _MAX_IN_VARS):
             chunk = names[start : start + _MAX_IN_VARS]
             placeholders = ", ".join("?" * len(chunk))
@@ -405,6 +430,36 @@ class SketchStore(PerProcessSqliteStore):
             ).fetchall()
             for name, content_hash, source_path in rows:
                 out[name] = (content_hash, source_path)
+            if include_sketches:
+                column_rows = self._connection.execute(
+                    "SELECT table_name, payload FROM columns "
+                    f"WHERE table_name IN ({placeholders}) ORDER BY rowid",
+                    chunk,
+                ).fetchall()
+                for table_name, payload in column_rows:
+                    if table_name in corrupt:
+                        continue
+                    try:
+                        sketch = ColumnSketch.from_dict(json.loads(payload))
+                    except (ValueError, KeyError, TypeError):
+                        corrupt.add(table_name)
+                        sketches.pop(table_name, None)
+                        logger.warning(
+                            "column sketch of table %r does not decode; "
+                            "stage-1 signals unavailable for it",
+                            table_name,
+                        )
+                        continue
+                    sketches.setdefault(table_name, []).append(sketch)
+        if include_sketches:
+            out = {
+                name: TableMeta(
+                    content_hash=entry[0],
+                    source_path=entry[1],
+                    columns=tuple(sketches.get(name, ())),
+                )
+                for name, entry in out.items()
+            }
         telemetry.count("sketch_store.meta_lookups", len(names))
         telemetry.count("sketch_store.meta_hits", len(out))
         if len(out) < len(set(names)):

@@ -14,6 +14,8 @@ Parameters follow Table II: ``minhash_threshold`` (syntactic acceptance),
 
 from __future__ import annotations
 
+import math
+
 from repro.data.table import Table
 from repro.embeddings.pretrained import PretrainedEmbeddings, default_pretrained_embeddings
 from repro.matchers.base import BaseMatcher, MatchResult, MatchType, PreparedTable
@@ -127,6 +129,51 @@ class SemPropMatcher(BaseMatcher):
             fingerprint=self.fingerprint(),
             payload={"links": links, "signatures": signatures},
         )
+
+    def bounds_admissible(self) -> bool:
+        """SemProp's cascade bound is sound (it returns ``+inf`` otherwise).
+
+        When :meth:`score_bound` returns a finite value, every pair fell to
+        the syntactic branch (no query column carries ontology links, so
+        ``coherence_score`` is 0 for every pair and stays below the positive
+        ``coherent_threshold``), and the branch scores at most
+        ``0.5 * estimated_jaccard``.  Under the conditions the bound checks
+        — same signature width and seed as the store sketches, no value
+        sampling truncation on either side — the matcher's MinHash estimate
+        *is* the store-sketch estimate (both hash the identical normalised
+        distinct value set through the identical permutation family), so
+        ``0.5 * signals.max_jaccard`` dominates every pair score exactly.
+        """
+        return True
+
+    def score_bound(self, prepared_query: PreparedTable, signals) -> float:
+        """Upper-bound pair scores with the store-sketch Jaccard, when sound.
+
+        Sound only when the semantic branch is provably closed and the
+        syntactic estimates coincide with the store sketches; any violated
+        assumption returns ``+inf`` (score exactly).
+        """
+        if self.coherent_threshold <= 0.0:
+            # A zero threshold lets linkless pairs take the semantic branch
+            # (score >= 0.5) — nothing cheap bounds that.
+            return math.inf
+        links = prepared_query.payload.get("links") or {}
+        if any(links.values()):
+            # Semantic matches score 0.5 + 0.5 * coherence; the sketch
+            # signals carry no ontology evidence to bound coherence with.
+            return math.inf
+        if signals.num_permutations != self.num_permutations or signals.seed != 7:
+            # minhash_signature() hashes with the default seed-7 family; a
+            # store sketched differently estimates a different Jaccard.
+            return math.inf
+        if (
+            prepared_query.table.num_rows > self.sample_size
+            or signals.max_values > self.sample_size
+        ):
+            # Sampling would truncate a value set on one side, so the two
+            # estimators no longer hash the same sets.
+            return math.inf
+        return 0.5 * min(1.0, signals.max_jaccard)
 
     def match_prepared(self, source: PreparedTable, target: PreparedTable) -> MatchResult:
         """Combine semantic (ontology-linked) and syntactic (MinHash) evidence."""

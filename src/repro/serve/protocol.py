@@ -57,6 +57,9 @@ class QueryRequest:
     mode: str = "joinable"
     top_k: Optional[int] = None
     timeout_s: Optional[float] = None
+    #: Anytime rerank budget (milliseconds): the engine stops scoring at the
+    #: deadline and flags the response stats ``partial``.
+    budget_ms: Optional[float] = None
 
 
 def table_to_dict(table: Table) -> dict:
@@ -72,6 +75,7 @@ def encode_query_request(
     mode: str = "joinable",
     top_k: Optional[int] = None,
     timeout_s: Optional[float] = None,
+    budget_ms: Optional[float] = None,
 ) -> bytes:
     """Client-side: serialise one ``/query`` body."""
     payload: dict = {"table": table_to_dict(table), "mode": mode}
@@ -79,6 +83,8 @@ def encode_query_request(
         payload["top_k"] = top_k
     if timeout_s is not None:
         payload["timeout_s"] = timeout_s
+    if budget_ms is not None:
+        payload["budget_ms"] = budget_ms
     return json.dumps(payload).encode("utf-8")
 
 
@@ -127,7 +133,21 @@ def decode_query_request(body: bytes) -> QueryRequest:
         if timeout_s <= 0:
             raise ProtocolError('"timeout_s" must be positive')
 
-    return QueryRequest(table=table, mode=mode, top_k=top_k, timeout_s=timeout_s)
+    budget_ms = payload.get("budget_ms")
+    if budget_ms is not None:
+        if not isinstance(budget_ms, (int, float)) or isinstance(budget_ms, bool):
+            raise ProtocolError('"budget_ms" must be a number')
+        budget_ms = float(budget_ms)
+        if budget_ms <= 0:
+            raise ProtocolError('"budget_ms" must be positive')
+
+    return QueryRequest(
+        table=table,
+        mode=mode,
+        top_k=top_k,
+        timeout_s=timeout_s,
+        budget_ms=budget_ms,
+    )
 
 
 def request_cache_key(request: QueryRequest) -> str:
@@ -137,11 +157,15 @@ def request_cache_key(request: QueryRequest) -> str:
     invalidation), not the table name — two clients querying the same data
     under different handles still share one rerank; the same name over
     different data does not.  ``timeout_s`` is deliberately excluded: it
-    shapes waiting, not the answer.
+    shapes waiting, not the answer.  ``budget_ms`` is deliberately
+    *included*: a budgeted request may return a partial ranking, which must
+    never be coalesced with (or served to) a full request.
     """
     digest = hashlib.sha256()
     digest.update(table_content_hash(request.table).encode("utf-8"))
-    digest.update(f"|{request.mode}|{request.top_k}".encode("utf-8"))
+    digest.update(
+        f"|{request.mode}|{request.top_k}|{request.budget_ms}".encode("utf-8")
+    )
     return digest.hexdigest()
 
 
@@ -177,5 +201,8 @@ def response_to_dict(request: QueryRequest, outcome, coalesced: bool) -> dict:
             "total_seconds": stats.total_seconds,
             "shortlist_seconds": stats.shortlist_seconds,
             "rerank_seconds": stats.rerank_seconds,
+            "partial": stats.partial,
+            "cascade_skipped": stats.cascade_skipped,
+            "cascade_exact": stats.cascade_exact,
         },
     }

@@ -90,6 +90,10 @@ class ServeConfig:
     #: pool breaks switch batches to serial scoring for ``cooldown_s``.
     breaker_threshold: int = 2
     breaker_cooldown_s: float = 5.0
+    #: Arm the two-stage rerank cascade for every served query (exact
+    #: rankings; admissible bounds skip candidates that cannot reach the
+    #: top-k).  Per-request anytime budgets (``budget_ms``) work either way.
+    cascade: bool = False
     #: Optional :class:`~repro.faults.FaultPlan` (duck-typed: anything with
     #: ``check(operation)``) consulted at ``serve.score_batch`` — the chaos
     #: suite's injection point.  ``None`` costs nothing.
@@ -393,7 +397,12 @@ class DiscoveryServer:
             raise RuntimeError("no engine session")
         groups: dict = {}
         for index, request in enumerate(requests):
-            groups.setdefault((request.mode, request.top_k), []).append(index)
+            # budget_ms joins the group key: a budget is a per-request rerank
+            # deadline, so budgeted and full requests never share a
+            # query_many call (their stats — and possibly rankings — differ).
+            groups.setdefault(
+                (request.mode, request.top_k, request.budget_ms), []
+            ).append(index)
         with use(self.recorder):
             self.recorder.count("serve.batches")
             self.recorder.count("serve.batched_queries", len(requests))
@@ -426,13 +435,15 @@ class DiscoveryServer:
         if self.config.fault_plan is not None:
             self.config.fault_plan.check("serve.score_batch")
         outcomes: list = [None] * len(requests)
-        for (mode, top_k), indexes in groups.items():
+        for (mode, top_k, budget_ms), indexes in groups.items():
             batch = session.engine.query_many(
                 [requests[i].table for i in indexes],
                 mode=mode,
                 top_k=top_k,
                 parallel=parallel,
                 max_workers=self.config.max_workers,
+                cascade=self.config.cascade,
+                budget_ms=budget_ms,
             )
             for i, outcome in zip(indexes, batch):
                 outcomes[i] = outcome

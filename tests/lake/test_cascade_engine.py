@@ -1,0 +1,277 @@
+"""End-to-end cascade tests over the lake engine (PR 10).
+
+Covers the exactness contract — with no budget, ``cascade=True`` rankings
+are identical to ``cascade=False`` for **every** registered matcher — plus
+real skipping with SemProp's admissible bound (serial and fully parallel
+warm paths), anytime budgets, and the batched sketch fetch behind stage 1.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.data.csv_io import write_csv
+from repro.data.table import Table
+from repro.datasets import tpcdi_prospect_table
+from repro.discovery.prepared import PreparedStore
+from repro.discovery.search import DatasetRepository
+from repro.fabrication.splitting import split_horizontal, split_vertical
+from repro.lake import (
+    LakeDiscoveryEngine,
+    SketchStore,
+    build_from_paths,
+    prepare_lake,
+)
+from repro.lake.store import TableMeta
+from repro.matchers.jaccard_levenshtein import JaccardLevenshteinMatcher
+from repro.matchers.registry import available_matchers, create_matcher
+from repro.matchers.semprop import SemPropMatcher
+
+TOP_K = 3
+
+#: Lightly-sized constructor kwargs per registered matcher, mirroring the
+#: prepared-protocol equivalence suite.  The test below asserts this map
+#: covers the registry, so a newly registered matcher fails loudly here
+#: until it is added (and thereby cascade-exactness-tested).
+MATCHER_CONFIGS: dict[str, dict] = {
+    "comaschema": {},
+    "comainstance": {"sample_size": 50},
+    "cupid": {},
+    "distributionbased": {"sample_size": 50},
+    "embdi": {"dimensions": 8, "sentence_length": 8, "walks_per_node": 2, "max_rows": 20},
+    "jaccardlevenshtein": {"sample_size": 20},
+    "semprop": {"num_permutations": 16, "sample_size": 50},
+    "similarityflooding": {"max_iterations": 50},
+}
+
+
+def _signature(results):
+    return [(r.table_name, r.joinability, r.unionability) for r in results]
+
+
+@pytest.fixture(scope="module")
+def lake(tmp_path_factory):
+    """A file-backed sketch store plus an in-memory candidate repository."""
+    rng = random.Random(11)
+    base = tpcdi_prospect_table(num_rows=40, seed=2)
+    horizontal = split_horizontal(base, 0.3, rng)
+    query = horizontal.first.rename("query_prospects")
+    repository = DatasetRepository()
+    repository.add(horizontal.second.rename("prospects_full"))
+    for i in range(8):
+        vertical = split_vertical(base, rng.uniform(0.3, 0.7), rng)
+        repository.add(vertical.second.rename(f"slice_{i}"))
+    store = SketchStore(tmp_path_factory.mktemp("cascade") / "lake.sketches")
+    for table in repository:
+        store.add_table(table)
+    yield query, repository, store
+    store.close()
+
+
+def test_config_map_covers_every_registered_matcher():
+    assert set(MATCHER_CONFIGS) == set(available_matchers())
+
+
+@pytest.mark.parametrize("method", sorted(MATCHER_CONFIGS))
+@pytest.mark.parametrize("mode", ["joinable", "unionable", "combined"])
+def test_cascade_ranking_identical_without_budget(lake, method, mode):
+    query, repository, store = lake
+    matcher = create_matcher(method, **MATCHER_CONFIGS[method])
+    engine = LakeDiscoveryEngine(matcher=matcher, store=store)
+    try:
+        plain = engine.query(query, repository, mode=mode, top_k=TOP_K)
+        cascaded = engine.query(
+            query, repository, mode=mode, top_k=TOP_K, cascade=True
+        )
+        assert _signature(cascaded) == _signature(plain)
+        stats = engine.last_query_stats
+        assert stats.partial is False
+        assert stats.cascade_exact + stats.cascade_skipped == stats.shortlist_size
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------- #
+# SemProp: the one bundled matcher with a sound (admissible) bound
+# --------------------------------------------------------------------- #
+
+# _GOOD == TOP_K on purpose: bound ordering puts the good tables first, so
+# the first parallel chunk (size ~4 with two workers) holds all three goods
+# plus a bad one — its worker-local top-k heap fills from the goods and
+# skips the trailing bad *within the chunk*, making `cascade_skipped > 0`
+# deterministic.  Cross-chunk skips also happen, but they depend on chunk
+# completion order (a later-finishing good chunk seeds the shared cutoff
+# too late) and must not be what the assertion rides on.
+_GOOD, _BAD, _ROWS = 3, 12, 30
+
+
+def _neutral_table(name: str, value_of) -> Table:
+    """Three string columns with ontology-neutral names (no SemProp links)."""
+    return Table(
+        name,
+        {
+            f"field_{c}": [value_of(c, r) for r in range(_ROWS)]
+            for c in range(3)
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def semprop_lake(tmp_path_factory):
+    """An on-disk lake where most candidates are provably hopeless.
+
+    ``good_*`` tables share the query's exact value sets (sketch Jaccard
+    ~1.0); ``bad_*`` tables are value-disjoint (sketch Jaccard ~0.0), so
+    SemProp's admissible ``0.5 * max_jaccard`` bound undercuts any top-k
+    cutoff seeded by the good tables.
+    """
+    tmp_path = tmp_path_factory.mktemp("semprop_cascade")
+    lake_dir = tmp_path / "csv"
+    lake_dir.mkdir()
+    query = _neutral_table("query_t", lambda c, r: f"val_{c}_{r}")
+    tables = [
+        _neutral_table(f"good_{g}", lambda c, r: f"val_{c}_{r}")
+        for g in range(_GOOD)
+    ] + [
+        _neutral_table(f"bad_{b}", lambda c, r, b=b: f"junk_{b}_{c}_{r}")
+        for b in range(_BAD)
+    ]
+    for table in tables:
+        write_csv(table, lake_dir / f"{table.name}.csv")
+    store_path = tmp_path / "lake.sketches"
+    with SketchStore(store_path) as store:
+        build_from_paths(store, sorted(lake_dir.glob("*.csv")))
+        with PreparedStore(tmp_path / "lake.sketches.prepared") as prepared:
+            prepare_lake(store, prepared, SemPropMatcher())
+    return store_path, query
+
+
+def _semprop_engine(store_path) -> LakeDiscoveryEngine:
+    return LakeDiscoveryEngine(
+        matcher=SemPropMatcher(),
+        store=SketchStore(store_path, read_only=True),
+        prepared_store=PreparedStore(store_path.with_name("lake.sketches.prepared")),
+        owns_stores=True,
+    )
+
+
+def test_semprop_cascade_skips_and_stays_exact_serial(semprop_lake):
+    store_path, query = semprop_lake
+    with _semprop_engine(store_path) as engine:
+        plain = engine.query(query, mode="joinable", top_k=TOP_K)
+        cascaded = engine.query(query, mode="joinable", top_k=TOP_K, cascade=True)
+        stats = engine.last_query_stats
+    assert _signature(cascaded) == _signature(plain)
+    assert stats.cascade_skipped > 0  # hopeless candidates never scored
+    assert stats.cascade_exact + stats.cascade_skipped == stats.shortlist_size
+    assert stats.rerank_count == stats.cascade_exact
+
+
+def test_semprop_cascade_skips_and_stays_exact_parallel(semprop_lake):
+    store_path, query = semprop_lake
+    with _semprop_engine(store_path) as engine:
+        plain = engine.query(query, mode="joinable", top_k=TOP_K)
+        cascaded = engine.query(
+            query, mode="joinable", top_k=TOP_K, cascade=True, parallel=True,
+            max_workers=2,
+        )
+        stats = engine.last_query_stats
+    assert _signature(cascaded) == _signature(plain)
+    # At least the first chunk's trailing bad candidate is skipped by its
+    # worker-local heap (see the _GOOD == TOP_K note above); cross-chunk
+    # skips via the shared cutoff are opportunistic and timing-dependent.
+    assert stats.cascade_skipped > 0
+    assert stats.cascade_exact + stats.cascade_skipped == stats.shortlist_size
+
+
+# --------------------------------------------------------------------- #
+# anytime budgets
+# --------------------------------------------------------------------- #
+
+
+class _SlowMatcher(JaccardLevenshteinMatcher):
+    """JL with a deliberate per-pair delay, to make deadlines deterministic."""
+
+    delay_s = 0.05
+
+    def match_prepared(self, source, target):
+        time.sleep(self.delay_s)
+        return super().match_prepared(source, target)
+
+
+def test_tiny_budget_stops_early_and_flags_partial(lake):
+    query, repository, store = lake
+    engine = LakeDiscoveryEngine(matcher=_SlowMatcher(sample_size=20), store=store)
+    try:
+        start = time.perf_counter()
+        results = engine.query(
+            query, repository, mode="combined", top_k=TOP_K, budget_ms=1.0
+        )
+        elapsed = time.perf_counter() - start
+        stats = engine.last_query_stats
+        assert stats.partial is True
+        assert stats.rerank_count < stats.shortlist_size
+        assert len(results) <= TOP_K
+        # Budget (1 ms) + at most one in-flight match (50 ms) + slack —
+        # nowhere near the ~450 ms a full rerank would cost.
+        assert elapsed < 9 * _SlowMatcher.delay_s * 0.8
+    finally:
+        engine.close()
+
+
+def test_large_budget_completes_and_matches_unbudgeted(lake):
+    query, repository, store = lake
+    engine = LakeDiscoveryEngine(matcher=_SlowMatcher(sample_size=20), store=store)
+    try:
+        plain = engine.query(query, repository, mode="combined", top_k=TOP_K)
+        budgeted = engine.query(
+            query, repository, mode="combined", top_k=TOP_K, budget_ms=60_000.0
+        )
+        stats = engine.last_query_stats
+        assert stats.partial is False
+        assert _signature(budgeted) == _signature(plain)
+        assert stats.rerank_count == stats.shortlist_size
+    finally:
+        engine.close()
+
+
+def test_query_many_propagates_budget_and_partial(lake):
+    query, repository, store = lake
+    engine = LakeDiscoveryEngine(matcher=_SlowMatcher(sample_size=20), store=store)
+    try:
+        outcomes = engine.query_many(
+            [query], repository, mode="combined", top_k=TOP_K, budget_ms=1.0
+        )
+        assert len(outcomes) == 1
+        assert outcomes[0].stats.partial is True
+        full = engine.query_many(
+            [query], repository, mode="combined", top_k=TOP_K, cascade=True
+        )
+        assert full[0].stats.partial is False
+        assert full[0].stats.cascade_exact > 0
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------- #
+# stage-1 plumbing: batched sketch fetch
+# --------------------------------------------------------------------- #
+
+
+def test_table_meta_include_sketches_batches_columns(lake):
+    _, repository, store = lake
+    names = sorted(repository.table_names)[:3]
+    plain = store.table_meta(names)
+    assert all(isinstance(entry, tuple) and len(entry) == 2 for entry in plain.values())
+    rich = store.table_meta(names, include_sketches=True)
+    assert set(rich) == set(plain)
+    for name in names:
+        entry = rich[name]
+        assert isinstance(entry, TableMeta)
+        assert entry.content_hash == plain[name][0]
+        assert entry.source_path == plain[name][1]
+        assert len(entry.columns) == len(repository.get(name).columns)
+        assert all(sketch.table_name == name for sketch in entry.columns)
